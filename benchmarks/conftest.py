@@ -1,0 +1,7 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one table or figure of the paper and prints
+the reproduced artifact (run with ``-s`` to see it inline; without
+``-s`` pytest shows captured output for each test at the end when
+``-rA`` is passed).  Timings come from pytest-benchmark.
+"""

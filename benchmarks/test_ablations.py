@@ -1,0 +1,141 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* Telemetry-volume ablation: PHV cost as the loop checker's path array
+  grows — quantifies the paper's observation that PHV overhead tracks
+  telemetry volume.
+* Checker-count ablation: RTT as checkers are added one at a time —
+  the marginal latency cost of each extra telemetry header.
+* Last-hop vs per-hop trade-off proxy (Section 4.3): telemetry bytes a
+  packet carries under last-hop checking, versus what per-hop checking
+  would carry for the loop checker (which needs the full path either
+  way) and for the valley-free checker (two bits in both designs).
+"""
+
+from repro.aether.upf import upf_program
+from repro.compiler import compile_program, link
+from repro.experiments import Fig12Config, run_rtt_experiment
+from repro.tofino import analyze_linked
+
+LOOPS_TEMPLATE = """
+tele bit<32>[{cap}] path;
+tele bool looped = false;
+{{ }}
+{{
+  if (switch_id in path) {{ looped = true; }}
+  path.push(switch_id);
+}}
+{{
+  if (looped) {{ reject; report; }}
+}}
+"""
+
+
+def test_ablation_telemetry_volume(benchmark):
+    def sweep():
+        baseline = upf_program()
+        rows = []
+        for cap in (2, 4, 8, 12):
+            compiled = compile_program(LOOPS_TEMPLATE.format(cap=cap),
+                                       name=f"loops{cap}")
+            linked = link(baseline, compiled)
+            report = analyze_linked(f"loops[{cap}]", linked, baseline)
+            rows.append((cap, compiled.hydra_header.width_bits, report))
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Telemetry-volume ablation (loop checker, growing path array)")
+    print(f"{'capacity':>9s} {'hdr bits':>9s} {'PHV %':>8s} {'stages':>7s}")
+    for cap, bits, report in rows:
+        print(f"{cap:>9d} {bits:>9d} {report.phv_pct:>8.2f} "
+              f"{report.stages:>7d}")
+    deltas = [report.phv_delta_bits for _, _, report in rows]
+    assert deltas == sorted(deltas)  # PHV grows with telemetry
+    assert all(report.stages == 12 for _, _, report in rows)
+
+
+CONFIG = Fig12Config(duration_s=0.06, ping_interval_s=0.003,
+                     load_bps_per_pair=30e6)
+
+SUITES = [
+    ([], "baseline"),
+    (["valley_free"], "1 checker"),
+    (["valley_free", "loops", "waypointing"], "3 checkers"),
+    (["valley_free", "loops", "waypointing", "multi_tenancy",
+      "egress_port_validity", "service_chain"], "6 checkers"),
+]
+
+
+def test_ablation_checker_count(benchmark):
+    def sweep():
+        runs = []
+        for checkers, label in SUITES:
+            run = run_rtt_experiment(checkers or None, label, CONFIG)
+            runs.append(run)
+        return runs
+
+    runs = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print()
+    print("Checker-count ablation (mean RTT, ms)")
+    for run in runs:
+        print(f"{run.label:12s} mean={run.mean_ms:.4f} "
+              f"n={len(run.rtts_ms)}")
+    base = runs[0].mean_ms
+    # Even six simultaneous checkers stay within 30% of baseline RTT at
+    # this (scaled-down, overhead-inflating) link rate.
+    assert runs[-1].mean_ms <= 1.30 * base
+
+
+def test_ablation_perhop_vs_lasthop(benchmark):
+    """Section 4.3's trade-off, measured: under last-hop checking a
+    violating packet burns switch work all the way to the edge; under
+    per-hop checking it dies at the offending switch.  We count the
+    total pipeline executions a violating valley packet causes."""
+    from repro.runtime.scenarios import SourceRoutingTestbed
+
+    def run(mode):
+        testbed = SourceRoutingTestbed(check_mode=mode)
+        path = ["leaf1", "spine1", "leaf2", "spine1", "leaf2"]
+        before = sum(sw.packets_processed
+                     for sw in testbed.deployment.switches.values())
+        result = testbed.send("h1", "h3", testbed.route_for(path, "h3"))
+        after = sum(sw.packets_processed
+                    for sw in testbed.deployment.switches.values())
+        return (not result.delivered), after - before
+
+    def both():
+        return run("last_hop"), run("per_hop")
+
+    (last_dropped, last_hops), (per_dropped, per_hops) = \
+        benchmark.pedantic(both, rounds=1, iterations=1)
+    print()
+    print("Per-hop vs last-hop checking "
+          "(violating valley packet, 5-hop path)")
+    print(f"  last-hop: dropped={last_dropped}, "
+          f"pipeline executions={last_hops}")
+    print(f"  per-hop:  dropped={per_dropped}, "
+          f"pipeline executions={per_hops}")
+    assert last_dropped and per_dropped        # both enforce...
+    assert per_hops < last_hops                # ...per-hop enforces earlier
+
+
+def test_ablation_lasthop_telemetry_bytes(benchmark):
+    """Proxy for the Section 4.3 trade-off: bytes of telemetry carried
+    under the implemented last-hop design, per checker."""
+    from repro.properties import compile_property
+
+    names = ("valley_free", "loops", "source_routing_validation",
+             "application_filtering")
+
+    def compile_all():
+        return {name: compile_property(name) for name in names}
+
+    compiled = benchmark.pedantic(compile_all, rounds=1, iterations=1)
+    print()
+    print("Telemetry carried per packet (last-hop checking design)")
+    for name in names:
+        print(f"{name:28s} {compiled[name].hydra_header.width_bytes:4d} "
+              "bytes")
+    # Valley-free needs only two bits of telemetry (+ the EtherType
+    # linkage), exactly the paper's claim for Figure 7.
+    assert compiled["valley_free"].hydra_header.width_bits == 16 + 2

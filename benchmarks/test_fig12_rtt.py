@@ -1,0 +1,58 @@
+"""Figure 12 — Hydra's performance overhead on packet latency.
+
+Regenerates both panels:
+
+* **12a** — RTT over (simulated) time, baseline vs all checkers;
+* **12b** — RTT CDF comparison plus the t-test the paper runs, which
+  must find no statistically significant difference.
+
+The experiment is the paper's, scaled down linearly for the event-driven
+substrate (see repro.experiments.fig12 and EXPERIMENTS.md): the Aether
+fabric under ~55% bidirectional UDP load with ECMP, a fast ping between
+servers on different leaves, and the full Table-1 checker suite linked
+into every switch for the Hydra arm.
+"""
+
+from repro.experiments import ALL_CHECKERS, Fig12Config, run_fig12
+from repro.stats import percentile
+
+CONFIG = Fig12Config(duration_s=0.2, ping_interval_s=0.002,
+                     load_bps_per_pair=40e6)
+
+
+def _run():
+    return run_fig12(CONFIG, checkers=ALL_CHECKERS)
+
+
+def test_fig12_rtt_overhead(benchmark):
+    result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    baseline, hydra = result.baseline, result.with_checkers
+
+    print()
+    print("Figure 12a — RTT over time (ms), downsampled series")
+    print(f"{'t (s)':>8s} {'baseline':>10s} {'all checkers':>13s}")
+    for (tb, rb), (tc, rc) in zip(baseline.series[::10],
+                                  hydra.series[::10]):
+        print(f"{tb:>8.3f} {rb:>10.4f} {rc:>13.4f}")
+
+    print()
+    print("Figure 12b — RTT distribution summary (ms)")
+    print(f"{'':12s} {'p10':>8s} {'p50':>8s} {'p90':>8s} {'mean':>8s}")
+    for run in (baseline, hydra):
+        print(f"{run.label:12s} "
+              f"{percentile(run.rtts_ms, 10):>8.4f} "
+              f"{percentile(run.rtts_ms, 50):>8.4f} "
+              f"{percentile(run.rtts_ms, 90):>8.4f} "
+              f"{run.mean_ms:>8.4f}")
+    t = result.t_test
+    print(f"t-test: t = {t.statistic:.3f}, dof = {t.dof:.1f}, "
+          f"p = {t.p_value:.3f} -> "
+          f"{'SIGNIFICANT' if t.significant() else 'no significant difference'}")
+
+    # The paper's conclusions, reproduced in shape:
+    assert len(baseline.rtts_ms) == len(hydra.rtts_ms)  # no pings lost
+    assert baseline.packets_lost == 0 and hydra.packets_lost == 0
+    assert not t.significant(alpha=0.01)
+    # Means within ~25% of each other (the checkers only add telemetry
+    # bytes, inflated here by the scaled-down link rate).
+    assert abs(hydra.mean_ms - baseline.mean_ms) <= 0.25 * baseline.mean_ms

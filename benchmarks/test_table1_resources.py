@@ -1,0 +1,57 @@
+"""Table 1 — Tofino resource columns (stages, PHV%).
+
+Regenerates the "Stages" and "PHV (%)" columns: each checker linked with
+the Aether fabric-upf baseline, stages from the dependency-depth
+allocator and PHV from the container-packing model, both anchored at
+the paper's measured baseline (12 stages / 44.53%)."""
+
+from repro.aether.upf import upf_program
+from repro.compiler import link
+from repro.properties import (BASELINE_PHV_PCT, BASELINE_STAGES, PROPERTIES,
+                              TABLE1_ORDER, compile_property)
+from repro.tofino import analyze_linked
+
+
+def _analyze_all():
+    baseline = upf_program()
+    reports = []
+    for name in TABLE1_ORDER:
+        compiled = compile_property(name)
+        linked = link(baseline, compiled)
+        reports.append(analyze_linked(name, linked, baseline))
+    return reports
+
+
+def test_table1_stages_column(benchmark):
+    reports = benchmark.pedantic(_analyze_all, rounds=1, iterations=1)
+    print()
+    print(f"{'Property':28s} {'Stages':>8s} {'paper':>6s}")
+    print(f"{'Baseline (fabric-upf)':28s} {BASELINE_STAGES:>8d} {'12':>6s}")
+    for report in reports:
+        paper = PROPERTIES[report.name].paper_stages
+        print(f"{report.name:28s} {report.stages:>8d} {paper:>6d}")
+        # The paper's headline: no checker increases the stage count.
+        assert report.stages <= BASELINE_STAGES
+
+
+def test_table1_phv_column(benchmark):
+    reports = benchmark.pedantic(_analyze_all, rounds=1, iterations=1)
+    print()
+    print(f"{'Property':28s} {'PHV %':>8s} {'paper':>8s} {'+bits':>7s}")
+    print(f"{'Baseline (fabric-upf)':28s} {BASELINE_PHV_PCT:>8.2f} "
+          f"{'44.53':>8s} {'-':>7s}")
+    by_name = {}
+    for report in reports:
+        paper = PROPERTIES[report.name].paper_phv_pct
+        print(f"{report.name:28s} {report.phv_pct:>8.2f} {paper:>8.2f} "
+              f"{report.phv_delta_bits:>7d}")
+        by_name[report.name] = report
+        # Modest overhead: every checker stays under baseline + 12 points
+        # (the paper's worst case is +7.61).
+        assert BASELINE_PHV_PCT <= report.phv_pct <= BASELINE_PHV_PCT + 12
+    # Ordering claim: the telemetry-heavy checkers (source-route path
+    # validation and application filtering) cost the most PHV.
+    heavy = {by_name["source_routing_validation"].phv_delta_bits,
+             by_name["application_filtering"].phv_delta_bits}
+    for name in ("waypointing", "egress_port_validity", "routing_validity"):
+        assert by_name[name].phv_delta_bits < max(heavy)

@@ -1,0 +1,57 @@
+"""Section 6.2 throughput microbenchmark.
+
+The paper replays mirrored campus traffic toward leaf1 and finds
+throughput "almost identical" (~20 Gb/s) with and without Hydra.  Here
+the synthetic campus trace replays across the fabric in both
+configurations; delivered goodput must match (telemetry is added inside
+the fabric and stripped at the edge, so goodput is unchanged)."""
+
+import pytest
+
+from repro.experiments import run_replay
+
+RATE_PPS = 5_000
+DURATION_S = 0.05
+
+
+def test_throughput_parity(benchmark):
+    def both():
+        baseline = run_replay(None, "baseline", rate_pps=RATE_PPS,
+                              duration_s=DURATION_S)
+        hydra = run_replay(["loops", "waypointing", "multi_tenancy"],
+                           "hydra", rate_pps=RATE_PPS,
+                           duration_s=DURATION_S)
+        return baseline, hydra
+
+    baseline, hydra = benchmark.pedantic(both, rounds=1, iterations=1)
+    print()
+    print("Throughput microbenchmark (campus replay toward the fabric)")
+    for result in (baseline, hydra):
+        print(f"{result.label:10s} offered={result.offered_packets:5d} pkts "
+              f"delivered={result.delivered_packets:5d} "
+              f"goodput={result.goodput_bps / 1e6:8.1f} Mb/s "
+              f"ratio={result.delivery_ratio:.3f}")
+    assert baseline.delivery_ratio > 0.95
+    assert hydra.delivery_ratio > 0.95
+    assert hydra.goodput_bps == pytest.approx(baseline.goodput_bps, rel=0.05)
+
+
+def test_switch_processing_rate(benchmark):
+    """Supplementary: raw behavioral-model forwarding rate (packets/s)
+    for a single linked switch — the simulator-cost figure that bounds
+    how large an experiment this substrate can run."""
+    from repro.compiler import compile_program, standalone_program
+    from repro.net.packet import ip, make_udp
+    from repro.p4.bmv2 import Bmv2Switch
+    from repro.properties import load_source
+
+    compiled = compile_program(load_source("loops"), name="loops")
+    program = standalone_program(compiled)
+    sw = Bmv2Switch(program, name="s1")
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    sw.insert_entry(compiled.inject_table, [1], compiled.mark_first_action)
+    sw.insert_entry(compiled.strip_table, [2], compiled.mark_last_action)
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+
+    result = benchmark(lambda: sw.process(packet, 1))
+    assert result  # forwarded, not dropped

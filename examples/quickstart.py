@@ -1,0 +1,113 @@
+#!/usr/bin/env python3
+"""Quickstart: write an Indus property, check it, run it two ways.
+
+This walks the full Hydra pipeline on the simplest useful property —
+loop freedom ("a packet must not visit the same switch twice"):
+
+1. parse + type-check the Indus source;
+2. run it on the reference interpreter over a hand-made path;
+3. compile it to P4, print the generated code;
+4. deploy it on a simulated network and watch a looping packet die.
+"""
+
+from repro.compiler import compile_program, standalone_program
+from repro.indus import HopContext, Monitor, check, parse
+from repro.net.packet import ip, make_udp
+from repro.net.topology import single_switch
+from repro.p4 import count_loc, render
+from repro.p4.programs import l2_port_forwarding
+from repro.runtime import HydraDeployment
+
+LOOP_FREEDOM = """
+/* Packets must not visit the same switch twice. */
+tele bit<32>[8] path;
+tele bool looped = false;
+
+{ }
+{
+  if (switch_id in path) {
+    looped = true;
+  }
+  path.push(switch_id);
+}
+{
+  if (looped) {
+    reject;
+    report;
+  }
+}
+"""
+
+
+def step1_check():
+    print("=== 1. Parse and type-check ===")
+    checked = check(parse(LOOP_FREEDOM))
+    tele_vars = [d.name for d in checked.program.decls]
+    print(f"declared variables: {tele_vars}")
+    print(f"builtins used: {sorted(checked.used_builtins)}\n")
+    return checked
+
+
+def step2_interpret(checked):
+    print("=== 2. Reference interpreter ===")
+    monitor = Monitor(checked)
+
+    def verdict(switch_ids):
+        contexts = [
+            HopContext(first_hop=(i == 0),
+                       last_hop=(i == len(switch_ids) - 1),
+                       switch_id=sid)
+            for i, sid in enumerate(switch_ids)
+        ]
+        state = monitor.run_path(contexts)
+        return "REJECTED" if state.rejected else "forwarded"
+
+    print(f"path 1 -> 2 -> 3: {verdict([1, 2, 3])}")
+    print(f"path 1 -> 2 -> 1 -> 3: {verdict([1, 2, 1, 3])}\n")
+
+
+def step3_compile(checked):
+    print("=== 3. Compile to P4 ===")
+    compiled = compile_program(checked, name="loop_freedom")
+    program = standalone_program(compiled)
+    text = render(program)
+    header = compiled.hydra_header
+    print(f"telemetry header: {header.width_bits} bits "
+          f"({header.width_bytes} bytes) across {len(header.fields)} fields")
+    print(f"generated program: {count_loc(text)} lines of P4")
+    print("--- generated checker tables ---")
+    for name in compiled.tables:
+        print(f"  table {name}")
+    print()
+    return compiled
+
+
+def step4_deploy(compiled):
+    print("=== 4. Deploy on a simulated network ===")
+    topology = single_switch(2)
+    deployment = HydraDeployment(
+        topology, compiled,
+        {"s1": l2_port_forwarding()},
+    )
+    sw = deployment.switches["s1"]
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    network = deployment.network
+    packet = make_udp(topology.hosts["h1"].ipv4, topology.hosts["h2"].ipv4,
+                      1234, 80)
+    network.host("h1").send(packet)
+    network.run()
+    print(f"h2 received {network.host('h2').rx_count} packet(s); "
+          f"reports: {len(deployment.reports)}")
+    print("(single hop -> no loop possible; try the valley-free example "
+          "for a multi-switch fabric)")
+
+
+def main():
+    checked = step1_check()
+    step2_interpret(checked)
+    compiled = step3_compile(checked)
+    step4_deploy(compiled)
+
+
+if __name__ == "__main__":
+    main()

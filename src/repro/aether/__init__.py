@@ -1,0 +1,20 @@
+"""Aether substrate: the UPF P4 program, operator portal, mobile core,
+ONOS-like controller, and the testbed for the Section 5.2 case study."""
+
+from .core import ALLOW_ACTION, DENY_ACTION, HydraControlApp, MobileCore
+from .onos import ClientRecord, OnosController
+from .portal import (ALLOW, ANY_PORT, ANY_PREFIX, ANY_PROTO, DENY,
+                     FilterRule, OperatorPortal, SliceConfig)
+from .testbed import (AetherTestbed, CELL_HOST, INTERNET_HOST, SERVER_HOST,
+                      TrafficResult, ue_address)
+from .upf import (APP_ID_UNKNOWN, DIRECTION_DOWNLINK, DIRECTION_UPLINK,
+                  upf_program)
+
+__all__ = [
+    "ALLOW", "ALLOW_ACTION", "ANY_PORT", "ANY_PREFIX", "ANY_PROTO",
+    "APP_ID_UNKNOWN", "AetherTestbed", "CELL_HOST", "ClientRecord",
+    "DENY", "DENY_ACTION", "DIRECTION_DOWNLINK", "DIRECTION_UPLINK",
+    "FilterRule", "HydraControlApp", "INTERNET_HOST", "MobileCore",
+    "OnosController", "OperatorPortal", "SERVER_HOST", "SliceConfig",
+    "TrafficResult", "ue_address", "upf_program",
+]

@@ -1,0 +1,107 @@
+"""The mobile core's session management (PFCP-style interface).
+
+Per the paper, the 3GPP PFCP interface "does not allow to specify
+application filtering rules globally for a slice.  Instead, rules are
+sent to ONOS on a per-client basis" — so on every attach the core looks
+up the slice configuration *at that moment* and ships a per-client copy
+of the rules to the controller, plus (when a Hydra deployment is
+present) to the Hydra control application that maintains the
+``filtering_actions`` dictionary of the Figure 9 checker.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..runtime.deployment import HydraDeployment
+from .onos import ClientRecord, OnosController
+from .portal import DENY, FilterRule, OperatorPortal
+
+DENY_ACTION = 1
+ALLOW_ACTION = 2
+
+
+class HydraControlApp:
+    """The 'simple control plane application that runs atop ONOS' from
+    Section 5.2: it mirrors each attaching client's filtering rules into
+    the checker's ``filtering_actions`` control dictionary.
+
+    Key layout matches Figure 9: (ue_ipv4_addr, app_ip_proto,
+    app_ipv4_addr, app_l4_port) -> 1=deny / 2=allow.
+    """
+
+    def __init__(self, deployment: HydraDeployment):
+        self.deployment = deployment
+
+    def on_attach(self, ue_ip: int, rules: List[FilterRule]) -> None:
+        for rule in rules:
+            value = DENY_ACTION if rule.action == DENY else ALLOW_ACTION
+            self.deployment.dict_put_ranges(
+                "filtering_actions",
+                [
+                    (ue_ip, ue_ip),
+                    rule.proto_range(),
+                    rule.addr_range(),
+                    tuple(rule.l4_port),
+                ],
+                value,
+                priority=rule.priority,
+            )
+
+    def on_detach(self, ue_ip: int) -> None:
+        """Remove the client's filtering_actions entries (all entries
+        whose UE component is exactly this address)."""
+        compiled, decl = self.deployment._resolve_control(
+            "filtering_actions")
+        for bmv2 in self.deployment.switches.values():
+            for table in compiled.control_tables[decl.name]:
+                stale = [e for e in bmv2.entries[table]
+                         if e.match and e.match[0] == (ue_ip, ue_ip)]
+                for entry in stale:
+                    bmv2.delete_entry(table, entry)
+
+
+class MobileCore:
+    """4G/5G core session management against the portal + ONOS."""
+
+    def __init__(self, portal: OperatorPortal, onos: OnosController,
+                 hydra_app: Optional[HydraControlApp] = None):
+        self.portal = portal
+        self.onos = onos
+        self.hydra_app = hydra_app
+        self._teids = itertools.count(100)
+        self.attachments: Dict[str, ClientRecord] = {}
+
+    def attach(self, imsi: str, ue_ip: int) -> ClientRecord:
+        """Handle a client attach request.
+
+        Allocates GTP TEIDs, snapshots the slice's *current* rules, and
+        pushes per-client state to ONOS and to the Hydra control app.
+        """
+        slice_name = self.portal.slice_of(imsi)
+        if slice_name is None:
+            raise ValueError(f"IMSI {imsi} is not provisioned in any slice")
+        rules = self.portal.rules_for(imsi)
+        uplink_teid = next(self._teids)
+        downlink_teid = uplink_teid + 1000
+        record = self.onos.handle_attach(
+            imsi=imsi, slice_name=slice_name, ue_ip=ue_ip,
+            uplink_teid=uplink_teid, downlink_teid=downlink_teid,
+            rules=rules,
+        )
+        if self.hydra_app is not None:
+            self.hydra_app.on_attach(ue_ip, rules)
+        self.attachments[imsi] = record
+        return record
+
+    def detach(self, imsi: str) -> None:
+        """Handle a client detach: tear down its user-plane state and
+        the Hydra control entries mirroring its rules."""
+        record = self.attachments.pop(imsi, None)
+        if record is None:
+            raise ValueError(f"IMSI {imsi} is not attached")
+        self.onos.handle_detach(imsi)
+        if self.hydra_app is not None:
+            self.hydra_app.on_detach(record.ue_ip)

@@ -1,0 +1,155 @@
+"""An ONOS-like SDN controller managing the UPF tables.
+
+This model reproduces the table-management behaviour behind the bug of
+Section 5.2.  To save TCAM, entries in the **Applications** table are
+shared by all clients of a slice: the controller keeps an app-id cache
+keyed by the *exact rule pattern* (prefix, proto, port range, priority).
+When a client attaches, each of its rules resolves to an app id —
+reusing a cached id when the pattern is identical, otherwise allocating
+a fresh id and installing a new Applications entry.  **Terminations**
+entries are installed only for the attaching client.
+
+The bug: after the operator edits a rule (different pattern and/or
+priority), the next attach allocates a *new, higher-priority* app id.
+Packets from previously attached clients now classify to the new app id,
+for which they have no Terminations entry — and the default action of
+Terminations is drop.  Traffic that the policy allows is silently
+discarded, exactly the behaviour Hydra's checker reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..p4.bmv2 import Bmv2Switch
+from .portal import ALLOW, FilterRule
+
+# Application-id 0 is "unknown" (table miss); allocation starts at 1.
+_FIRST_APP_ID = 1
+
+AppKey = Tuple[str, Tuple[int, int], Optional[int], Tuple[int, int], int]
+
+
+@dataclass
+class ClientRecord:
+    """Controller-side state for one attached client."""
+
+    client_id: int
+    imsi: str
+    slice_name: str
+    ue_ip: int
+    uplink_teid: int
+    downlink_teid: int
+    app_ids: List[int] = field(default_factory=list)
+
+
+class OnosController:
+    """Installs and maintains UPF table entries on the fabric."""
+
+    def __init__(self, upf_switches: Dict[str, Bmv2Switch]):
+        self.upf_switches = dict(upf_switches)
+        self._app_ids: Dict[AppKey, int] = {}
+        self._next_app_id = _FIRST_APP_ID
+        self._next_client_id = 1
+        self._slice_ids: Dict[str, int] = {}
+        self.clients: Dict[str, ClientRecord] = {}
+
+    def slice_id(self, slice_name: str) -> int:
+        """Numeric id for a slice (allocated on first use)."""
+        if slice_name not in self._slice_ids:
+            self._slice_ids[slice_name] = len(self._slice_ids) + 1
+        return self._slice_ids[slice_name]
+
+    # -- app-id management (the shared Applications table) -----------------
+
+    @staticmethod
+    def _app_key(slice_name: str, rule: FilterRule) -> AppKey:
+        return (slice_name, rule.ip_prefix, rule.proto, rule.l4_port,
+                rule.priority)
+
+    def _app_id_for(self, slice_name: str, rule: FilterRule) -> int:
+        """Resolve a rule pattern to an app id, installing a shared
+        Applications entry on first use."""
+        key = self._app_key(slice_name, rule)
+        existing = self._app_ids.get(key)
+        if existing is not None:
+            return existing
+        app_id = self._next_app_id
+        self._next_app_id += 1
+        self._app_ids[key] = app_id
+        sid = self.slice_id(slice_name)
+        match = [(sid, sid), rule.addr_range(), tuple(rule.l4_port),
+                 rule.proto_range()]
+        for bmv2 in self.upf_switches.values():
+            bmv2.insert_entry("applications", match, "set_app_id", [app_id],
+                              priority=rule.priority)
+        return app_id
+
+    # -- attach handling (per-client PFCP-style rule delivery) ----------------
+
+    def handle_attach(self, imsi: str, slice_name: str, ue_ip: int,
+                      uplink_teid: int, downlink_teid: int,
+                      rules: List[FilterRule]) -> ClientRecord:
+        """Install user-plane state for a newly attached client.
+
+        ``rules`` is the per-client copy of the slice's filtering rules,
+        as delivered over the PFCP-style interface at attach time.
+        """
+        if imsi in self.clients:
+            raise ValueError(f"IMSI {imsi} is already attached")
+        client_id = self._next_client_id
+        self._next_client_id += 1
+        record = ClientRecord(client_id=client_id, imsi=imsi,
+                              slice_name=slice_name, ue_ip=ue_ip,
+                              uplink_teid=uplink_teid,
+                              downlink_teid=downlink_teid)
+        sid = self.slice_id(slice_name)
+        for bmv2 in self.upf_switches.values():
+            bmv2.insert_entry("uplink_sessions", [uplink_teid],
+                              "set_session_uplink", [client_id, sid])
+            bmv2.insert_entry("downlink_sessions", [ue_ip],
+                              "set_session_downlink",
+                              [client_id, sid, downlink_teid])
+        for rule in rules:
+            app_id = self._app_id_for(slice_name, rule)
+            record.app_ids.append(app_id)
+            action = "term_forward" if rule.action == ALLOW else "term_drop"
+            for bmv2 in self.upf_switches.values():
+                bmv2.insert_entry("terminations", [client_id, app_id], action)
+        self.clients[imsi] = record
+        return record
+
+    def handle_detach(self, imsi: str) -> ClientRecord:
+        """Remove a client's user-plane state.
+
+        Sessions and the client's Terminations entries are removed.
+        Shared Applications entries are left installed (they may serve
+        other clients of the slice) — faithfully mirroring the real
+        controller, where app-entry garbage collection is a separate
+        concern.
+        """
+        record = self.clients.pop(imsi, None)
+        if record is None:
+            raise ValueError(f"IMSI {imsi} is not attached")
+        for bmv2 in self.upf_switches.values():
+            for table, predicate in (
+                ("uplink_sessions",
+                 lambda e: e.match == [record.uplink_teid]),
+                ("downlink_sessions",
+                 lambda e: e.match == [record.ue_ip]),
+                ("terminations",
+                 lambda e: e.match[0] == record.client_id),
+            ):
+                for entry in [e for e in bmv2.entries[table]
+                              if predicate(e)]:
+                    bmv2.delete_entry(table, entry)
+        return record
+
+    def client(self, imsi: str) -> ClientRecord:
+        return self.clients[imsi]
+
+    def applications_entries(self) -> int:
+        """Installed Applications entries (per switch)."""
+        any_switch = next(iter(self.upf_switches.values()))
+        return len(any_switch.entries["applications"])

@@ -1,0 +1,183 @@
+"""The Aether edge testbed (Figure 10): small cells, edge app servers,
+a 2x2 leaf-spine fabric running the UPF program, the operator portal,
+the mobile core, the ONOS controller, and the Hydra application-
+filtering checker deployed across the fabric.
+
+Conventions:
+
+* ``h1`` (leaf1 port 1) is the small cell — clients' traffic enters
+  GTP-U encapsulated from here;
+* ``h2`` (leaf1 port 2) is the edge application server;
+* ``h3`` (leaf2 port 1) stands in for the Internet;
+* UEs get addresses in 172.16.0.0/24, routed toward the cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..net.packet import (Packet, ip, make_gtpu_encapsulated, make_udp,
+                          make_tcp)
+from ..net.topology import Topology, leaf_spine
+from ..properties import compile_property
+from ..runtime.deployment import HydraDeployment
+from ..runtime.reports import HydraReport
+from .core import HydraControlApp, MobileCore
+from .onos import OnosController
+from .portal import OperatorPortal
+from .upf import upf_program
+
+UE_SUBNET = (172 << 24) | (16 << 16)          # 172.16.0.0/24
+N3_CELL = ip(192, 168, 0, 1)
+N3_UPF = ip(192, 168, 0, 100)
+
+CELL_HOST = "h1"
+SERVER_HOST = "h2"
+INTERNET_HOST = "h3"
+
+
+def ue_address(index: int) -> int:
+    """The address assigned to the index-th UE (1-based)."""
+    return UE_SUBNET | index
+
+
+@dataclass
+class TrafficResult:
+    """Outcome of one traffic exchange."""
+
+    delivered: bool
+    new_reports: List[HydraReport]
+
+
+class AetherTestbed:
+    """A complete Aether deployment with Hydra application filtering."""
+
+    def __init__(self):
+        self.topology: Topology = leaf_spine(num_leaves=2, num_spines=2,
+                                             hosts_per_leaf=2)
+        self.compiled = compile_property("application_filtering")
+        forwarding = {name: upf_program(f"fabric_upf_{name}")
+                      for name in self.topology.switches}
+        self.deployment = HydraDeployment(self.topology, self.compiled,
+                                          forwarding)
+        self.network = self.deployment.network
+        self._install_routes()
+
+        self.portal = OperatorPortal()
+        upf_switches = {name: self.deployment.switches[name]
+                        for name, spec in self.topology.switches.items()
+                        if spec.is_leaf}
+        self.onos = OnosController(upf_switches)
+        self.hydra_app = HydraControlApp(self.deployment)
+        self.core = MobileCore(self.portal, self.onos, self.hydra_app)
+        self._ue_ips: Dict[str, int] = {}
+
+    # -- fabric routing ----------------------------------------------------
+
+    def _install_routes(self) -> None:
+        hosts = self.topology.hosts
+
+        def routes_for(switch: str) -> List[Tuple[Tuple[int, int], int]]:
+            if switch == "leaf1":
+                return [
+                    ((hosts["h1"].ipv4, 32), 1),
+                    ((hosts["h2"].ipv4, 32), 2),
+                    ((UE_SUBNET, 24), 1),       # UEs live behind the cell
+                    ((0, 0), 3),                 # default via spine1
+                ]
+            if switch == "leaf2":
+                return [
+                    ((hosts["h3"].ipv4, 32), 1),
+                    ((hosts["h4"].ipv4, 32), 2),
+                    ((0, 0), 3),
+                ]
+            # Spines: leaf subnets + UE subnet toward leaf1.
+            return [
+                (((10 << 24) | (1 << 8), 24), 1),
+                (((10 << 24) | (2 << 8), 24), 2),
+                ((UE_SUBNET, 24), 1),
+            ]
+
+        for switch in self.topology.switches:
+            bmv2 = self.deployment.switches[switch]
+            for prefix, port in routes_for(switch):
+                bmv2.insert_entry("upf_routes", [prefix], "upf_route", [port])
+
+    # -- control-plane workflow -----------------------------------------------
+
+    def provision_slice(self, name: str, rules) -> None:
+        self.portal.create_slice(name, rules)
+
+    def attach(self, imsi: str, ue_index: int) -> int:
+        """Attach a client; returns its UE address."""
+        ue_ip = ue_address(ue_index)
+        self.core.attach(imsi, ue_ip)
+        self._ue_ips[imsi] = ue_ip
+        return ue_ip
+
+    # -- traffic --------------------------------------------------------------
+
+    def _host_for_ip(self, addr: int) -> Optional[str]:
+        for name, spec in self.topology.hosts.items():
+            if spec.ipv4 == addr:
+                return name
+        return None
+
+    def send_uplink(self, imsi: str, app_ip: int, dport: int,
+                    proto: str = "udp", payload_len: int = 100
+                    ) -> TrafficResult:
+        """A UE sends one uplink packet via its cell's GTP-U tunnel."""
+        record = self.onos.client(imsi)
+        ue_ip = self._ue_ips[imsi]
+        if proto == "udp":
+            inner = make_udp(ue_ip, app_ip, 40000, dport,
+                             payload_len=payload_len)
+        else:
+            inner = make_tcp(ue_ip, app_ip, 40000, dport,
+                             payload_len=payload_len)
+        packet = make_gtpu_encapsulated(N3_CELL, N3_UPF,
+                                        record.uplink_teid, inner)
+        return self._send(CELL_HOST, packet, app_ip)
+
+    def send_downlink(self, src_ip: int, imsi: str, sport: int,
+                      proto: str = "udp",
+                      payload_len: int = 100) -> TrafficResult:
+        """An application sends one downlink packet toward a UE."""
+        ue_ip = self._ue_ips[imsi]
+        src_host = self._host_for_ip(src_ip)
+        if src_host is None:
+            raise ValueError("downlink source must be a known host")
+        if proto == "udp":
+            packet = make_udp(src_ip, ue_ip, sport, 40000,
+                              payload_len=payload_len)
+        else:
+            packet = make_tcp(src_ip, ue_ip, sport, 40000,
+                              payload_len=payload_len)
+        return self._send(src_host, packet, dest_is_ue=True)
+
+    def _send(self, src_host: str, packet: Packet,
+              dst_ip: Optional[int] = None,
+              dest_is_ue: bool = False) -> TrafficResult:
+        before = len(self.deployment.reports)
+        if dest_is_ue:
+            dest_host = CELL_HOST
+        else:
+            dest_host = self._host_for_ip(dst_ip) if dst_ip else None
+        dest = self.network.host(dest_host) if dest_host else None
+        rx_before = dest.rx_count if dest else 0
+        self.network.host(src_host).send(packet)
+        self.network.run()
+        delivered = bool(dest and dest.rx_count > rx_before)
+        new_reports = self.deployment.reports[before:]
+        return TrafficResult(delivered=delivered, new_reports=new_reports)
+
+    @property
+    def reports(self) -> List[HydraReport]:
+        return self.deployment.reports
+
+    def detach(self, imsi: str) -> None:
+        """Detach a client, removing its sessions, terminations, and
+        Hydra filtering entries."""
+        self.core.detach(imsi)
+        self._ue_ips.pop(imsi, None)

@@ -1,0 +1,262 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``check <file.indus>``       — parse + type-check a program
+* ``compile <name-or-file>``   — compile to P4 and print the code
+* ``properties``               — list the bundled property library
+* ``table1``                   — reproduce Table 1
+* ``fig12``                    — run the Figure 12 RTT experiment
+* ``ltl "<formula>"``          — compile an LTLf formula to Indus
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .indus import IndusError, check, parse
+
+
+def _load_program_text(target: str) -> tuple:
+    """Resolve a CLI target to (name, source text): either a bundled
+    property name or a path to an .indus file."""
+    from .properties import PROPERTIES, load_source
+
+    if target in PROPERTIES:
+        return target, load_source(target)
+    if os.path.exists(target):
+        with open(target) as handle:
+            return os.path.splitext(os.path.basename(target))[0], \
+                handle.read()
+    raise SystemExit(
+        f"error: {target!r} is neither a bundled property nor a file; "
+        f"bundled: {', '.join(sorted(PROPERTIES))}"
+    )
+
+
+def cmd_check(args: argparse.Namespace) -> int:
+    name, source = _load_program_text(args.target)
+    try:
+        checked = check(parse(source))
+    except IndusError as exc:
+        print(f"{name}: error: {exc}", file=sys.stderr)
+        return 1
+    program = checked.program
+    print(f"{name}: OK")
+    for decl in program.decls:
+        print(f"  {decl.kind.value:8s} {decl.ty}  {decl.name}")
+    if checked.used_builtins:
+        print(f"  builtins: {', '.join(sorted(checked.used_builtins))}")
+    return 0
+
+
+def cmd_compile(args: argparse.Namespace) -> int:
+    from .compiler import compile_program, standalone_program
+    from .p4 import count_loc, render
+
+    name, source = _load_program_text(args.target)
+    try:
+        compiled = compile_program(source, name=name)
+    except IndusError as exc:
+        print(f"{name}: error: {exc}", file=sys.stderr)
+        return 1
+    if args.summary:
+        header = compiled.hydra_header
+        print(f"checker:          {name}")
+        print(f"telemetry header: {header.width_bits} bits "
+              f"({header.width_bytes} bytes), {len(header.fields)} fields")
+        print(f"metadata fields:  {len(compiled.metadata)}")
+        print(f"registers:        {len(compiled.registers)}")
+        print(f"tables:           {len(compiled.tables)} "
+              f"({', '.join(compiled.tables)})")
+        text = render(standalone_program(compiled))
+        print(f"generated P4:     {count_loc(text)} lines")
+    else:
+        print(render(standalone_program(compiled)))
+    return 0
+
+
+def cmd_properties(_args: argparse.Namespace) -> int:
+    from .properties import PROPERTIES, indus_loc
+
+    width = max(len(name) for name in PROPERTIES)
+    for name, info in sorted(PROPERTIES.items()):
+        table1 = "Table 1" if info.in_table1 else "extra  "
+        print(f"{name:{width}s}  {table1}  {indus_loc(name):3d} LoC  "
+              f"{info.description}")
+    return 0
+
+
+def cmd_table1(_args: argparse.Namespace) -> int:
+    from .experiments import compute_table, format_table
+
+    print(format_table(compute_table()))
+    return 0
+
+
+def cmd_fig12(args: argparse.Namespace) -> int:
+    from .experiments import Fig12Config, run_fig12
+
+    config = Fig12Config(duration_s=args.duration,
+                         load_bps_per_pair=args.load * 1e6)
+    checkers = args.checkers.split(",") if args.checkers else None
+    print(f"running Figure 12 (duration {args.duration}s, "
+          f"{args.load} Mb/s per pair, "
+          f"checkers: {', '.join(checkers) if checkers else 'all'}; "
+          "this takes a little while)...")
+    result = run_fig12(config, checkers=checkers)
+    for run in (result.baseline, result.with_checkers):
+        print(f"{run.label:14s} n={len(run.rtts_ms):4d} "
+              f"mean RTT={run.mean_ms:.4f} ms")
+    t = result.t_test
+    verdict = ("statistically significant difference"
+               if t.significant() else "no significant difference")
+    print(f"Welch t-test: t={t.statistic:.3f}, p={t.p_value:.3f} "
+          f"-> {verdict}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    from .runtime.tracecheck import TraceFormatError, run_trace_file
+
+    name, source = _load_program_text(args.target)
+    try:
+        checked = check(parse(source))
+        result = run_trace_file(checked, args.trace)
+    except (IndusError, TraceFormatError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    verdict = "ACCEPTED" if result.accepted else "REJECTED"
+    print(f"{name}: {verdict} after {result.hop_count} hop(s)")
+    for tele_name, value in result.tele_values().items():
+        print(f"  tele {tele_name} = {value}")
+    for report in result.reports:
+        payload = "" if report.payload is None else f" {report.payload}"
+        print(f"  report from {report.block} block at switch "
+              f"{report.switch_id}{payload}")
+    return 0 if result.accepted else 2
+
+
+def cmd_codegen(args: argparse.Namespace) -> int:
+    from .compiler import compile_program
+    from .compiler.driver import write_deployment
+    from .net.topofile import TopologyFormatError, load_topology
+
+    name, source = _load_program_text(args.target)
+    try:
+        topology = load_topology(args.topology)
+    except (OSError, TopologyFormatError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    try:
+        compiled = compile_program(source, name=name)
+        written = write_deployment(
+            compiled, topology, args.out, forwarding=args.forwarding,
+            check_mode="per_hop" if args.per_hop else "last_hop")
+    except (IndusError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    manifest = written.pop("__manifest__")
+    for switch, path in sorted(written.items()):
+        role = topology.switches[switch].role
+        print(f"  {switch:12s} ({role:4s}) -> {path}")
+    print(f"  manifest            -> {manifest}")
+    return 0
+
+
+def cmd_ltl(args: argparse.Namespace) -> int:
+    from .ltl import ltl_to_indus_source, parse_formula
+
+    try:
+        formula = parse_formula(args.formula)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    print(ltl_to_indus_source(formula, max_trace=args.max_trace))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Hydra runtime network verification (SIGCOMM 2023 "
+                    "reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="parse + type-check an Indus program")
+    p.add_argument("target", help="bundled property name or .indus file")
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("compile", help="compile an Indus program to P4")
+    p.add_argument("target", help="bundled property name or .indus file")
+    p.add_argument("--summary", action="store_true",
+                   help="print a resource summary instead of the P4 code")
+    p.set_defaults(fn=cmd_compile)
+
+    p = sub.add_parser("properties", help="list the property library")
+    p.set_defaults(fn=cmd_properties)
+
+    p = sub.add_parser("table1", help="reproduce Table 1")
+    p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser("fig12", help="run the Figure 12 RTT experiment")
+    p.add_argument("--duration", type=float, default=0.1,
+                   help="simulated seconds per arm (default 0.1)")
+    p.add_argument("--load", type=float, default=40.0,
+                   help="background load per host pair, Mb/s (default 40)")
+    p.add_argument("--checkers", default="",
+                   help="comma-separated checker subset "
+                        "(default: all eleven Table-1 checkers)")
+    p.set_defaults(fn=cmd_fig12)
+
+    p = sub.add_parser(
+        "run",
+        help="run a property over a JSON hop trace (property debugger)")
+    p.add_argument("target", help="bundled property name or .indus file")
+    p.add_argument("--trace", required=True,
+                   help="trace JSON (see repro.runtime.tracecheck)")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "codegen",
+        help="generate per-switch P4 for a topology (the paper's "
+             "compiler interface: Indus program + topology file)")
+    p.add_argument("target", help="bundled property name or .indus file")
+    p.add_argument("--topology", required=True,
+                   help="topology JSON file (see repro.net.topofile)")
+    p.add_argument("-o", "--out", required=True, help="output directory")
+    p.add_argument("--forwarding", default="l2",
+                   help="forwarding profile: l2, ipv4, srcroute, fabric, "
+                        "vlan, upf (default l2)")
+    p.add_argument("--per-hop", action="store_true",
+                   help="per-hop checking (Section 4.3) instead of "
+                        "last-hop")
+    p.set_defaults(fn=cmd_codegen)
+
+    p = sub.add_parser("ltl", help="compile an LTLf formula to Indus")
+    p.add_argument("formula", help='e.g. "G !(a & X (F a))"')
+    p.add_argument("--max-trace", type=int, default=8,
+                   help="monitor trace capacity (default 8)")
+    p.set_defaults(fn=cmd_ltl)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early — not an error.
+        try:
+            sys.stdout.close()
+        except Exception:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

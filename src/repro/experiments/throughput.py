@@ -1,0 +1,78 @@
+"""Throughput microbenchmark (Section 6.2 text): replayed campus-style
+traffic toward leaf1, delivered throughput compared with and without
+Hydra — the paper found parity (~20 Gb/s in both configurations, limited
+by the replay source rather than the switch).
+
+In our substrate the replay drives the same leaf-spine fabric as
+Figure 12.  Delivered goodput is measured at the sink hosts; the
+checkers add only telemetry bytes inside the fabric (stripped before
+delivery), so goodput parity is the expected result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..net.packet import make_udp
+from ..workloads.anonymizer import PrefixPreservingAnonymizer
+from ..workloads.campus import CampusTraceGenerator
+from .fig12 import Fig12Config, build_fabric
+
+
+@dataclass
+class ThroughputResult:
+    label: str
+    offered_packets: int
+    delivered_packets: int
+    delivered_bytes: int
+    duration_s: float
+
+    @property
+    def goodput_bps(self) -> float:
+        if self.duration_s <= 0:
+            return 0.0
+        return self.delivered_bytes * 8 / self.duration_s
+
+    @property
+    def delivery_ratio(self) -> float:
+        if not self.offered_packets:
+            return 0.0
+        return self.delivered_packets / self.offered_packets
+
+
+def run_replay(checkers: Optional[List[str]], label: str,
+               rate_pps: float = 20_000, duration_s: float = 0.1,
+               seed: int = 5) -> ThroughputResult:
+    """Replay a synthetic campus trace from h1 toward h3 (cross-fabric)."""
+    config = Fig12Config(link_bandwidth_bps=10e9)
+    network, _ = build_fabric(checkers, config)
+    generator = CampusTraceGenerator(seed=seed)
+    # The paper's pipeline: tapped traffic passes a line-rate
+    # prefix-preserving anonymizer before replay.  We apply the same
+    # sanitization, then re-address onto our fabric endpoints, keeping
+    # packet sizes — the property that matters for throughput.
+    anonymizer = PrefixPreservingAnonymizer()
+    src = network.topology.hosts["h1"].ipv4
+    dst = network.topology.hosts["h3"].ipv4
+    offered = 0
+    for when, trace_packet in generator.timed_packets(rate_pps, duration_s):
+        sanitized = anonymizer.anonymize_packet(trace_packet)
+        packet = make_udp(src, dst, 20000 + offered % 1000, 5201,
+                          payload_len=sanitized.payload_len)
+        network.host("h1").send(packet, delay=when)
+        offered += 1
+    sink = network.host("h3")
+    network.run()
+    delivered_bytes = sum(p.length for _, p in sink.received)
+    if not sink.received and sink.rx_count:
+        # Callbacks may have consumed the packets; fall back to counts.
+        delivered_bytes = sink.rx_count * 1400
+    last_arrival = max((t for t, _ in sink.received), default=duration_s)
+    return ThroughputResult(
+        label=label,
+        offered_packets=offered,
+        delivered_packets=sink.rx_count,
+        delivered_bytes=delivered_bytes,
+        duration_s=max(last_arrival, duration_s),
+    )

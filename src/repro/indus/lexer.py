@@ -1,0 +1,201 @@
+"""Hand-written lexer for the Indus language.
+
+The lexer converts Indus source text into a list of :class:`Token` values.
+It supports C-style block comments (``/* ... */``), line comments
+(``// ...``), decimal, hexadecimal (``0x``) and binary (``0b``) integer
+literals, and the full operator set from Figure 4 of the paper plus the
+prototype extensions (``+=``, ``-=``, ``%``, shifts).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .errors import LexError, SourceSpan
+from .tokens import KEYWORDS, Token, TokenKind
+
+# Multi-character operators, longest first so maximal-munch works by scanning
+# this list in order.
+_MULTI_OPS = [
+    ("<<", TokenKind.SHL),
+    (">>", TokenKind.SHR),
+    ("==", TokenKind.EQ),
+    ("!=", TokenKind.NEQ),
+    ("<=", TokenKind.LE),
+    (">=", TokenKind.GE),
+    ("&&", TokenKind.AND),
+    ("||", TokenKind.OR),
+    ("+=", TokenKind.PLUS_ASSIGN),
+    ("-=", TokenKind.MINUS_ASSIGN),
+]
+
+_SINGLE_OPS = {
+    "{": TokenKind.LBRACE,
+    "}": TokenKind.RBRACE,
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    "[": TokenKind.LBRACKET,
+    "]": TokenKind.RBRACKET,
+    ";": TokenKind.SEMI,
+    ",": TokenKind.COMMA,
+    ".": TokenKind.DOT,
+    "@": TokenKind.AT,
+    "=": TokenKind.ASSIGN,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    "%": TokenKind.PERCENT,
+    "~": TokenKind.TILDE,
+    "&": TokenKind.AMP,
+    "|": TokenKind.PIPE,
+    "^": TokenKind.CARET,
+    "<": TokenKind.LT,
+    ">": TokenKind.GT,
+    "!": TokenKind.NOT,
+}
+
+
+class Lexer:
+    """Streaming lexer over a source string."""
+
+    def __init__(self, source: str):
+        self.source = source
+        self.pos = 0
+        self.line = 1
+        self.column = 1
+
+    # -- low-level cursor helpers -------------------------------------------
+
+    def _peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        if index >= len(self.source):
+            return ""
+        return self.source[index]
+
+    def _advance(self, count: int = 1) -> None:
+        for _ in range(count):
+            if self.pos >= len(self.source):
+                return
+            if self.source[self.pos] == "\n":
+                self.line += 1
+                self.column = 1
+            else:
+                self.column += 1
+            self.pos += 1
+
+    def _span_from(self, start_line: int, start_col: int) -> SourceSpan:
+        return SourceSpan(start_line, start_col, self.line, self.column)
+
+    # -- skipping ------------------------------------------------------------
+
+    def _skip_trivia(self) -> None:
+        """Skip whitespace and comments; raise on unterminated block comment."""
+        while self.pos < len(self.source):
+            ch = self._peek()
+            if ch in " \t\r\n":
+                self._advance()
+            elif ch == "/" and self._peek(1) == "/":
+                while self.pos < len(self.source) and self._peek() != "\n":
+                    self._advance()
+            elif ch == "/" and self._peek(1) == "*":
+                start_line, start_col = self.line, self.column
+                self._advance(2)
+                while self.pos < len(self.source):
+                    if self._peek() == "*" and self._peek(1) == "/":
+                        self._advance(2)
+                        break
+                    self._advance()
+                else:
+                    raise LexError(
+                        "unterminated block comment",
+                        SourceSpan(start_line, start_col, self.line, self.column),
+                    )
+            else:
+                return
+
+    # -- token producers ------------------------------------------------------
+
+    def _lex_number(self) -> Token:
+        start_line, start_col = self.line, self.column
+        start = self.pos
+        if self._peek() == "0" and self._peek(1) in "xX":
+            self._advance(2)
+            digits = "0123456789abcdefABCDEF_"
+            base = 16
+        elif self._peek() == "0" and self._peek(1) in "bB":
+            self._advance(2)
+            digits = "01_"
+            base = 2
+        else:
+            digits = "0123456789_"
+            base = 10
+        while self._peek() and self._peek() in digits:
+            self._advance()
+        text = self.source[start : self.pos]
+        span = self._span_from(start_line, start_col)
+        body = text if base == 10 else text[2:]
+        body = body.replace("_", "")
+        if not body:
+            raise LexError(f"malformed integer literal {text!r}", span)
+        if self._peek().isalpha():
+            raise LexError(
+                f"invalid character {self._peek()!r} after integer literal", span
+            )
+        return Token(TokenKind.INT, text, span, value=int(body, base))
+
+    def _lex_word(self) -> Token:
+        start_line, start_col = self.line, self.column
+        start = self.pos
+        while self._peek() and (self._peek().isalnum() or self._peek() == "_"):
+            self._advance()
+        text = self.source[start : self.pos]
+        span = self._span_from(start_line, start_col)
+        kind = KEYWORDS.get(text, TokenKind.IDENT)
+        return Token(kind, text, span)
+
+    def _lex_operator(self) -> Token:
+        start_line, start_col = self.line, self.column
+        two = self.source[self.pos : self.pos + 2]
+        for text, kind in _MULTI_OPS:
+            if two == text:
+                self._advance(2)
+                return Token(kind, text, self._span_from(start_line, start_col))
+        ch = self._peek()
+        kind = _SINGLE_OPS.get(ch)
+        if kind is None:
+            raise LexError(
+                f"unexpected character {ch!r}",
+                SourceSpan(start_line, start_col, start_line, start_col + 1),
+            )
+        self._advance()
+        return Token(kind, ch, self._span_from(start_line, start_col))
+
+    # -- driver ---------------------------------------------------------------
+
+    def next_token(self) -> Token:
+        self._skip_trivia()
+        if self.pos >= len(self.source):
+            return Token(
+                TokenKind.EOF, "", SourceSpan(self.line, self.column, self.line, self.column)
+            )
+        ch = self._peek()
+        if ch.isdigit():
+            return self._lex_number()
+        if ch.isalpha() or ch == "_":
+            return self._lex_word()
+        return self._lex_operator()
+
+    def tokenize(self) -> List[Token]:
+        """Lex the whole input, returning a list ending with an EOF token."""
+        tokens: List[Token] = []
+        while True:
+            token = self.next_token()
+            tokens.append(token)
+            if token.kind is TokenKind.EOF:
+                return tokens
+
+
+def tokenize(source: str) -> List[Token]:
+    """Convenience wrapper: lex ``source`` into a token list."""
+    return Lexer(source).tokenize()

@@ -1,0 +1,19 @@
+"""LTLf toolchain for the expressiveness theorem (Section 3.3):
+syntax + parser, finite-trace semantics, the first-order translation of
+Figure 5, and the LTLf-to-Indus compiler of Theorem 3.1."""
+
+from .ast import (Always, And, Atom, Eventually, FalseF, Formula, Implies,
+                  LtlParseError, Next, Not, Or, TrueF, Until, WeakNext,
+                  atoms_of, parse_formula)
+from .fol import (FOFormula, evaluate_fo, fo_holds, to_first_order)
+from .semantics import holds, normalize_trace
+from .to_indus import (DEFAULT_MAX_TRACE, ltl_to_indus, ltl_to_indus_source,
+                       monitor_accepts)
+
+__all__ = [
+    "Always", "And", "Atom", "DEFAULT_MAX_TRACE", "Eventually", "FOFormula",
+    "FalseF", "Formula", "Implies", "LtlParseError", "Next", "Not", "Or",
+    "TrueF", "Until", "WeakNext", "atoms_of", "evaluate_fo", "fo_holds",
+    "holds", "ltl_to_indus", "ltl_to_indus_source", "monitor_accepts",
+    "normalize_trace", "parse_formula", "to_first_order",
+]

@@ -1,0 +1,56 @@
+"""Finite-trace semantics for LTLf.
+
+A trace is a non-empty sequence of events; each event is the set of
+atoms true at that instant (any mapping/set-like works).  ``holds``
+implements De Giacomo & Vardi's semantics: *strong* next is false at the
+final event; ``until`` requires the right operand to occur within the
+trace.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set, Union
+
+from .ast import And, Atom, FalseF, Formula, Next, Not, TrueF, Until
+
+Event = Union[Set[str], Iterable[str]]
+
+
+def normalize_trace(trace: Sequence[Event]) -> List[Set[str]]:
+    return [set(event) for event in trace]
+
+
+def holds(formula: Formula, trace: Sequence[Event],
+          index: int = 0) -> bool:
+    """Does ``formula`` hold on ``trace`` at ``index`` (default: start)?"""
+    events = normalize_trace(trace)
+    if not events:
+        raise ValueError("LTLf semantics are defined over non-empty traces")
+    if not 0 <= index < len(events):
+        raise ValueError(f"index {index} outside trace of length {len(events)}")
+    return _holds(formula, events, index)
+
+
+def _holds(formula: Formula, events: List[Set[str]], i: int) -> bool:
+    if isinstance(formula, TrueF):
+        return True
+    if isinstance(formula, FalseF):
+        return False
+    if isinstance(formula, Atom):
+        return formula.name in events[i]
+    if isinstance(formula, Not):
+        return not _holds(formula.operand, events, i)
+    if isinstance(formula, And):
+        return (_holds(formula.left, events, i)
+                and _holds(formula.right, events, i))
+    if isinstance(formula, Next):
+        if i + 1 >= len(events):
+            return False
+        return _holds(formula.operand, events, i + 1)
+    if isinstance(formula, Until):
+        for j in range(i, len(events)):
+            if _holds(formula.right, events, j):
+                return all(_holds(formula.left, events, k)
+                           for k in range(i, j))
+        return False
+    raise TypeError(f"unknown formula {type(formula).__name__}")

@@ -1,0 +1,239 @@
+"""Event-driven packet-level network simulator.
+
+The simulator stands in for the paper's Mininet and hardware testbeds.
+It moves packets between hosts and switches over links with propagation
+latency, serialization delay, and FIFO output queues; switches run P4 IR
+pipelines via :class:`~repro.p4.bmv2.Bmv2Switch`.
+
+The latency model mirrors how a hardware pipeline behaves: per-switch
+processing delay is ``stages * stage_delay`` — *independent of which
+program runs as long as the stage count is unchanged* — plus store-and-
+forward serialization of the actual packet bytes.  Hydra's telemetry
+header therefore costs only its extra serialization bytes, which is why
+Figure 12 finds no significant RTT difference.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..p4.bmv2 import Bmv2Switch, DigestMessage
+from .packet import Packet
+from .topology import Endpoint, Link, Topology
+
+DEFAULT_STAGE_DELAY_S = 40e-9     # per-pipeline-stage latency
+DEFAULT_STAGES = 12               # the Aether fabric-upf baseline
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+
+
+class Simulator:
+    """A minimal discrete-event scheduler."""
+
+    def __init__(self):
+        self._events: List[_Event] = []
+        self._seq = itertools.count()
+        self.now = 0.0
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        if delay < 0:
+            raise ValueError("cannot schedule into the past")
+        heapq.heappush(
+            self._events, _Event(self.now + delay, next(self._seq), callback)
+        )
+
+    def run(self, until: Optional[float] = None) -> None:
+        while self._events:
+            if until is not None and self._events[0].time > until:
+                self.now = until
+                return
+            event = heapq.heappop(self._events)
+            self.now = event.time
+            event.callback()
+        if until is not None:
+            self.now = until
+
+    @property
+    def pending(self) -> int:
+        return len(self._events)
+
+
+class Host:
+    """A host endpoint: sends packets, delivers receptions to callbacks.
+
+    When no callback is registered, receptions accumulate in
+    ``received``; with callbacks registered, each gets every packet
+    (callbacks filter for the traffic they care about).
+    """
+
+    def __init__(self, name: str, network: "Network"):
+        self.name = name
+        self.network = network
+        self.received: List[Tuple[float, Packet]] = []
+        self.rx_callbacks: List[Callable[[float, Packet], None]] = []
+        self.tx_count = 0
+        self.rx_count = 0
+
+    def add_rx_callback(self,
+                        callback: Callable[[float, Packet], None]) -> None:
+        self.rx_callbacks.append(callback)
+
+    def send(self, packet: Packet, delay: float = 0.0) -> None:
+        """Transmit toward the attached switch after ``delay`` seconds."""
+        self.tx_count += 1
+        self.network.sim.schedule(
+            delay, lambda: self.network.transmit_from_host(self.name, packet)
+        )
+
+    def deliver(self, packet: Packet) -> None:
+        self.rx_count += 1
+        now = self.network.sim.now
+        if self.rx_callbacks:
+            for callback in self.rx_callbacks:
+                callback(now, packet)
+        else:
+            self.received.append((now, packet))
+
+
+class SwitchDevice:
+    """A switch in the simulation: a Bmv2 pipeline plus timing state."""
+
+    def __init__(self, name: str, bmv2: Bmv2Switch, stages: int = DEFAULT_STAGES,
+                 stage_delay_s: float = DEFAULT_STAGE_DELAY_S):
+        self.name = name
+        self.bmv2 = bmv2
+        self.stages = stages
+        self.stage_delay_s = stage_delay_s
+        # Per output port: time at which the port finishes its current
+        # transmission (FIFO serialization queue).
+        self.port_busy_until: Dict[int, float] = {}
+        self.bytes_forwarded = 0
+
+    @property
+    def processing_delay_s(self) -> float:
+        return self.stages * self.stage_delay_s
+
+
+class Network:
+    """Hosts + switches wired per a :class:`Topology`, with a scheduler.
+
+    With ``serialize_on_wire=True`` every packet is serialized to bits
+    and re-parsed at each link traversal, proving that the header codecs
+    carry the complete state — no information rides along in Python
+    object identity.  (Host-side ``meta`` annotations survive: they
+    stand in for payload contents, which this substrate models only as
+    lengths.)
+    """
+
+    def __init__(self, topology: Topology,
+                 switch_programs: Dict[str, Bmv2Switch],
+                 stage_counts: Optional[Dict[str, int]] = None,
+                 serialize_on_wire: bool = False):
+        self.topology = topology
+        self.serialize_on_wire = serialize_on_wire
+        self.sim = Simulator()
+        self.hosts: Dict[str, Host] = {
+            name: Host(name, self) for name in topology.hosts
+        }
+        self.switches: Dict[str, SwitchDevice] = {}
+        stage_counts = stage_counts or {}
+        for name in topology.switches:
+            if name not in switch_programs:
+                raise ValueError(f"no P4 program bound for switch {name!r}")
+            self.switches[name] = SwitchDevice(
+                name, switch_programs[name],
+                stages=stage_counts.get(name, DEFAULT_STAGES),
+            )
+        self.reports: List[DigestMessage] = []
+        for device in self.switches.values():
+            device.bmv2.on_digest(self.reports.append)
+        self.packets_delivered = 0
+        self.packets_lost = 0
+
+    # -- transmission ------------------------------------------------------------
+
+    def transmit_from_host(self, host_name: str, packet: Packet) -> None:
+        attach = self.topology.host_attachment(host_name)
+        link = self.topology.link_at(attach.node, attach.port)
+        assert link is not None
+        self._send_over(link, Endpoint(host_name, 0), packet)
+
+    def _send_over(self, link: Link, src: Endpoint, packet: Packet) -> None:
+        """Serialize + propagate a packet from ``src`` over ``link``."""
+        dst = link.other(src)
+        tx_time = packet.length * 8 / link.bandwidth_bps
+        # Serialization queueing at the sending side.
+        if src.node in self.switches:
+            device = self.switches[src.node]
+            start = max(self.sim.now, device.port_busy_until.get(src.port, 0.0))
+            device.port_busy_until[src.port] = start + tx_time
+            device.bytes_forwarded += packet.length
+            ready = start + tx_time
+        else:
+            ready = self.sim.now + tx_time
+        if self.serialize_on_wire:
+            packet = self._wire_roundtrip(packet)
+        arrival_delay = (ready - self.sim.now) + link.latency_s
+        self.sim.schedule(arrival_delay,
+                          lambda: self._arrive(dst, packet))
+
+    @staticmethod
+    def _wire_roundtrip(packet: Packet) -> Packet:
+        """Serialize every header to bits and re-parse it — the packet
+        that arrives is rebuilt purely from its wire representation."""
+        from .packet import Header
+
+        rebuilt = []
+        for header in packet.headers:
+            if not header.valid:
+                continue
+            bits, _ = header.to_bits()
+            rebuilt.append(Header.from_bits(header.htype, bits))
+        out = Packet(headers=rebuilt, payload_len=packet.payload_len,
+                     meta=dict(packet.meta))
+        out.packet_id = packet.packet_id
+        return out
+
+    def _arrive(self, end: Endpoint, packet: Packet) -> None:
+        if end.node in self.hosts:
+            self.packets_delivered += 1
+            self.hosts[end.node].deliver(packet)
+            return
+        device = self.switches[end.node]
+        self.sim.schedule(
+            device.processing_delay_s,
+            lambda: self._forward(device, packet, end.port),
+        )
+
+    def _forward(self, device: SwitchDevice, packet: Packet,
+                 ingress_port: int) -> None:
+        outputs = device.bmv2.process(packet, ingress_port)
+        if not outputs:
+            self.packets_lost += 1
+            return
+        for egress_port, out_packet in outputs:
+            link = self.topology.link_at(device.name, egress_port)
+            if link is None:
+                self.packets_lost += 1
+                continue
+            self._send_over(link, Endpoint(device.name, egress_port),
+                            out_packet)
+
+    # -- conveniences -----------------------------------------------------------------
+
+    def host(self, name: str) -> Host:
+        return self.hosts[name]
+
+    def switch(self, name: str) -> SwitchDevice:
+        return self.switches[name]
+
+    def run(self, until: Optional[float] = None) -> None:
+        self.sim.run(until)

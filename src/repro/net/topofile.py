@@ -1,0 +1,140 @@
+"""Topology files: the compiler's second input (Section 4.1).
+
+"The compiler takes as inputs an Indus program and a topology file in
+which each switch is classified as an edge or non-edge switch."  This
+module defines that file format (JSON) with loading, saving, and
+validation, so deployments can be described declaratively::
+
+    {
+      "name": "leafspine-2x2",
+      "switches": [
+        {"name": "leaf1", "role": "edge", "is_leaf": true},
+        {"name": "spine1", "role": "core", "is_spine": true}
+      ],
+      "hosts": [
+        {"name": "h1", "ipv4": "10.0.1.1"}
+      ],
+      "links": [
+        {"a": ["leaf1", 1], "b": ["h1", 0],
+         "latency_us": 1, "bandwidth_gbps": 10}
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Union
+
+from .packet import format_ip, ip
+from .topology import CORE, EDGE, Topology
+
+
+class TopologyFormatError(ValueError):
+    """Raised when a topology file is malformed."""
+
+
+def _parse_ipv4(value: Union[str, int]) -> int:
+    if isinstance(value, int):
+        return value
+    parts = value.split(".")
+    if len(parts) != 4:
+        raise TopologyFormatError(f"bad IPv4 address {value!r}")
+    try:
+        octets = [int(p) for p in parts]
+    except ValueError as exc:
+        raise TopologyFormatError(f"bad IPv4 address {value!r}") from exc
+    if any(not 0 <= o <= 255 for o in octets):
+        raise TopologyFormatError(f"bad IPv4 address {value!r}")
+    return ip(*octets)
+
+
+def topology_from_dict(data: Dict[str, Any]) -> Topology:
+    """Build a :class:`Topology` from a parsed topology document."""
+    if not isinstance(data, dict):
+        raise TopologyFormatError("topology document must be an object")
+    topo = Topology(name=data.get("name", "topology"))
+    for entry in data.get("switches", []):
+        name = entry.get("name")
+        if not name:
+            raise TopologyFormatError("switch entries need a 'name'")
+        role = entry.get("role", CORE)
+        if role not in (EDGE, CORE):
+            raise TopologyFormatError(
+                f"switch {name!r}: role must be 'edge' or 'core', "
+                f"got {role!r}"
+            )
+        topo.add_switch(name, role=role,
+                        is_spine=bool(entry.get("is_spine", False)),
+                        is_leaf=bool(entry.get("is_leaf", False)))
+    for entry in data.get("hosts", []):
+        name = entry.get("name")
+        if not name:
+            raise TopologyFormatError("host entries need a 'name'")
+        ipv4 = _parse_ipv4(entry.get("ipv4", 0))
+        mac = entry.get("mac")
+        topo.add_host(name, ipv4=ipv4, mac=mac)
+    for entry in data.get("links", []):
+        try:
+            (node_a, port_a), (node_b, port_b) = entry["a"], entry["b"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise TopologyFormatError(
+                f"link entries need 'a': [node, port] and 'b': "
+                f"[node, port]; got {entry!r}"
+            ) from exc
+        topo.add_link(
+            node_a, int(port_a), node_b, int(port_b),
+            latency_s=float(entry.get("latency_us", 1)) * 1e-6,
+            bandwidth_bps=float(entry.get("bandwidth_gbps", 10)) * 1e9,
+        )
+    return topo
+
+
+def topology_to_dict(topo: Topology) -> Dict[str, Any]:
+    """Serialize a :class:`Topology` to a topology document."""
+    return {
+        "name": topo.name,
+        "switches": [
+            {
+                "name": spec.name,
+                "role": spec.role,
+                "is_spine": spec.is_spine,
+                "is_leaf": spec.is_leaf,
+            }
+            for spec in topo.switches.values()
+        ],
+        "hosts": [
+            {
+                "name": spec.name,
+                "ipv4": format_ip(spec.ipv4),
+                "mac": spec.mac,
+            }
+            for spec in topo.hosts.values()
+        ],
+        "links": [
+            {
+                "a": [link.a.node, link.a.port],
+                "b": [link.b.node, link.b.port],
+                "latency_us": link.latency_s * 1e6,
+                "bandwidth_gbps": link.bandwidth_bps / 1e9,
+            }
+            for link in topo.links
+        ],
+    }
+
+
+def load_topology(path: str) -> Topology:
+    """Load a topology from a JSON file."""
+    with open(path) as handle:
+        try:
+            data = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise TopologyFormatError(f"{path}: invalid JSON: {exc}") from exc
+    return topology_from_dict(data)
+
+
+def save_topology(topo: Topology, path: str) -> None:
+    """Write a topology to a JSON file."""
+    with open(path, "w") as handle:
+        json.dump(topology_to_dict(topo), handle, indent=2)
+        handle.write("\n")

@@ -1,0 +1,487 @@
+"""Behavioral model for the P4 IR — the repository's stand-in for bmv2.
+
+:class:`Bmv2Switch` executes a :class:`~repro.p4.ir.P4Program` on packets:
+parse → ingress → egress → deparse, with match-action tables, registers,
+and digests, and exposes a P4Runtime-like control API (table entry
+insert/delete, register access, digest subscription).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..net.packet import Header, Packet
+from . import ir
+
+
+class P4RuntimeError(Exception):
+    """Raised on malformed control-plane operations or broken programs."""
+
+
+DROP_PORT = 511
+
+
+@dataclass
+class StandardMetadata:
+    ingress_port: int = 0
+    egress_spec: int = 0
+    egress_port: int = 0
+    packet_length: int = 0
+    drop: bool = False
+
+
+@dataclass
+class DigestMessage:
+    """A digest delivered to the control plane."""
+
+    name: str
+    values: List[int]
+    switch_name: str = ""
+
+
+class PacketContext:
+    """Execution context for one packet traversing the pipeline."""
+
+    def __init__(self, program: ir.P4Program, packet: Packet,
+                 standard: StandardMetadata):
+        self.program = program
+        self.packet = packet
+        self.standard = standard
+        self.hdr: Dict[str, Header] = {}
+        self.tail: List[Header] = []
+        self.meta: Dict[str, int] = {name: 0 for name, _ in program.metadata}
+        self._meta_width = dict(program.metadata)
+        self.action_args: Dict[str, int] = {}
+
+    # -- field access ------------------------------------------------------
+
+    def read(self, path: str) -> int:
+        root, _, rest = path.partition(".")
+        if root == "hdr":
+            bind, _, fname = rest.partition(".")
+            header = self.hdr.get(bind)
+            if header is None or not header.valid:
+                return 0  # reading an invalid header yields 0 (bmv2-like)
+            return header.get(fname)
+        if root == "meta":
+            if rest not in self.meta:
+                raise P4RuntimeError(f"unknown metadata field {rest!r}")
+            return self.meta[rest]
+        if root == "standard_metadata":
+            return int(getattr(self.standard, rest))
+        if root == "param":
+            if rest not in self.action_args:
+                raise P4RuntimeError(f"unbound action parameter {rest!r}")
+            return self.action_args[rest]
+        raise P4RuntimeError(f"bad field path {path!r}")
+
+    def write(self, path: str, value: int) -> None:
+        root, _, rest = path.partition(".")
+        if root == "hdr":
+            bind, _, fname = rest.partition(".")
+            header = self.hdr.get(bind)
+            if header is None:
+                raise P4RuntimeError(f"write to unbound header {bind!r}")
+            header.set(fname, value)
+            return
+        if root == "meta":
+            if rest not in self.meta:
+                raise P4RuntimeError(f"unknown metadata field {rest!r}")
+            width = self._meta_width[rest]
+            self.meta[rest] = int(value) & ((1 << width) - 1)
+            return
+        if root == "standard_metadata":
+            setattr(self.standard, rest, int(value))
+            return
+        raise P4RuntimeError(f"cannot write to {path!r}")
+
+    def is_valid(self, bind: str) -> bool:
+        header = self.hdr.get(bind)
+        return header is not None and header.valid
+
+
+class Bmv2Switch:
+    """Executes a P4 program; holds runtime table/register state."""
+
+    def __init__(self, program: ir.P4Program, name: str = "s1",
+                 switch_id: int = 0):
+        self.program = program
+        self.name = name
+        self.switch_id = switch_id
+        self.entries: Dict[str, List[ir.TableEntry]] = {
+            t: [] for t in program.tables
+        }
+        self.registers: Dict[str, List[int]] = {
+            reg.name: [0] * reg.size for reg in program.registers
+        }
+        self._register_width: Dict[str, int] = {
+            reg.name: reg.width for reg in program.registers
+        }
+        self.digest_listeners: List[Callable[[DigestMessage], None]] = []
+        self.digests: List[DigestMessage] = []
+        # Statistics for the evaluation harness.
+        self.packets_processed = 0
+        self.packets_dropped = 0
+
+    # ==================================================================
+    # Control-plane (P4Runtime-like) API
+    # ==================================================================
+
+    def insert_entry(self, table_name: str, match: List[ir.MatchSpec],
+                     action: str, args: Optional[List[int]] = None,
+                     priority: int = 0) -> ir.TableEntry:
+        table = self._table(table_name)
+        if action not in self.program.actions:
+            raise P4RuntimeError(f"unknown action {action!r}")
+        expected = len(self.program.actions[action].params)
+        args = list(args or [])
+        if len(args) != expected:
+            raise P4RuntimeError(
+                f"action {action!r} expects {expected} args, got {len(args)}"
+            )
+        if len(match) != len(table.keys):
+            raise P4RuntimeError(
+                f"table {table_name!r} has {len(table.keys)} keys, "
+                f"got {len(match)} match specs"
+            )
+        entry = ir.TableEntry(match=match, action=action, args=args,
+                              priority=priority)
+        self.entries[table_name].append(entry)
+        return entry
+
+    def delete_entry(self, table_name: str, entry: ir.TableEntry) -> None:
+        self._table(table_name)
+        try:
+            self.entries[table_name].remove(entry)
+        except ValueError as exc:
+            raise P4RuntimeError("entry not installed") from exc
+
+    def clear_table(self, table_name: str) -> None:
+        self._table(table_name)
+        self.entries[table_name].clear()
+
+    def set_default_action(self, table_name: str, action: str,
+                           args: Optional[List[int]] = None) -> None:
+        table = self._table(table_name)
+        table.default_action = (action, list(args or []))
+
+    def register_read(self, name: str, index: int = 0) -> int:
+        return self.registers[name][index]
+
+    def register_write(self, name: str, index: int, value: int) -> None:
+        width = self._register_width[name]
+        self.registers[name][index] = int(value) & ((1 << width) - 1)
+
+    def on_digest(self, listener: Callable[[DigestMessage], None]) -> None:
+        self.digest_listeners.append(listener)
+
+    def _table(self, name: str) -> ir.Table:
+        if name not in self.program.tables:
+            raise P4RuntimeError(f"unknown table {name!r}")
+        return self.program.tables[name]
+
+    # ==================================================================
+    # Packet processing
+    # ==================================================================
+
+    def process(self, packet: Packet,
+                ingress_port: int) -> List[Tuple[int, Packet]]:
+        """Run one packet through the pipeline.
+
+        Returns a list of (egress_port, packet) pairs — empty if dropped.
+        """
+        self.packets_processed += 1
+        work = packet.copy()
+        standard = StandardMetadata(ingress_port=ingress_port,
+                                    packet_length=work.length)
+        ctx = PacketContext(self.program, work, standard)
+        self._parse(ctx)
+
+        self._exec_body(self.program.ingress, ctx)
+        if ctx.standard.drop or ctx.standard.egress_spec == DROP_PORT:
+            self.packets_dropped += 1
+            return []
+        ctx.standard.egress_port = ctx.standard.egress_spec
+
+        self._exec_body(self.program.egress, ctx)
+        if ctx.standard.drop:
+            self.packets_dropped += 1
+            return []
+
+        out = self._deparse(ctx)
+        return [(ctx.standard.egress_port, out)]
+
+    # -- parsing ------------------------------------------------------------
+
+    def _parse(self, ctx: PacketContext) -> None:
+        headers = list(ctx.packet.headers)
+        cursor = 0
+        state_name = self.program.parser.start
+        # Pre-bind every known bind name to an invalid header instance so
+        # setValid/assign work on headers the parser did not extract.
+        for bind, htype in self.program.bind_types().items():
+            inst = Header(htype)
+            inst.valid = False
+            ctx.hdr[bind] = inst
+        guard = 0
+        while state_name not in (ir.ACCEPT, ir.REJECT_STATE):
+            guard += 1
+            if guard > 64:
+                raise P4RuntimeError("parser did not terminate")
+            state = self.program.parser.state(state_name)
+            for ex in state.extracts:
+                if isinstance(ex, ir.Extract):
+                    if cursor >= len(headers) or \
+                            headers[cursor].htype is not ex.htype:
+                        state_name = ir.REJECT_STATE
+                        break
+                    ctx.hdr[ex.bind] = headers[cursor]
+                    cursor += 1
+                else:  # ExtractStack
+                    depth = 0
+                    while depth < ex.max_depth and cursor < len(headers) \
+                            and headers[cursor].htype is ex.htype:
+                        ctx.hdr[f"{ex.bind}{depth}"] = headers[cursor]
+                        stop = headers[cursor].get(ex.loop_field) != 0
+                        cursor += 1
+                        depth += 1
+                        if stop:
+                            break
+            else:
+                state_name = self._transition(state, ctx)
+                continue
+            break
+        ctx.tail = headers[cursor:]
+
+    def _transition(self, state: ir.ParserState, ctx: PacketContext) -> str:
+        default = ir.ACCEPT
+        for tr in state.transitions:
+            if tr.field_path is None:
+                default = tr.next_state
+            elif ctx.read(tr.field_path) == tr.value:
+                return tr.next_state
+        return default
+
+    # -- deparsing -----------------------------------------------------------
+
+    def _deparse(self, ctx: PacketContext) -> Packet:
+        emitted: List[Header] = []
+        order = self.program.emit_order or list(ctx.hdr)
+        for bind in order:
+            header = ctx.hdr.get(bind)
+            if header is not None and header.valid:
+                emitted.append(header)
+        emitted.extend(ctx.tail)
+        ctx.packet.headers = emitted
+        return ctx.packet
+
+    # -- statement execution ----------------------------------------------------
+
+    def _exec_body(self, stmts: List[ir.P4Stmt], ctx: PacketContext) -> None:
+        for stmt in stmts:
+            self._exec(stmt, ctx)
+
+    def _exec(self, stmt: ir.P4Stmt, ctx: PacketContext) -> None:
+        if isinstance(stmt, ir.AssignStmt):
+            ctx.write(stmt.dest, self._eval(stmt.value, ctx))
+            return
+        if isinstance(stmt, ir.IfStmt):
+            if self._eval(stmt.cond, ctx):
+                self._exec_body(stmt.then_body, ctx)
+            else:
+                self._exec_body(stmt.else_body, ctx)
+            return
+        if isinstance(stmt, ir.ApplyTable):
+            hit = self._apply_table(stmt.table, ctx)
+            if hit:
+                self._exec_body(stmt.hit_body, ctx)
+            else:
+                self._exec_body(stmt.miss_body, ctx)
+            return
+        if isinstance(stmt, ir.RegisterRead):
+            index = self._eval(stmt.index, ctx)
+            values = self.registers[stmt.register]
+            value = values[index] if 0 <= index < len(values) else 0
+            ctx.write(stmt.dest, value)
+            return
+        if isinstance(stmt, ir.RegisterWrite):
+            index = self._eval(stmt.index, ctx)
+            values = self.registers[stmt.register]
+            if 0 <= index < len(values):
+                width = self._register_width[stmt.register]
+                values[index] = self._eval(stmt.value, ctx) & ((1 << width) - 1)
+            return
+        if isinstance(stmt, ir.Digest):
+            message = DigestMessage(
+                name=stmt.name,
+                values=[self._eval(e, ctx) for e in stmt.fields],
+                switch_name=self.name,
+            )
+            self.digests.append(message)
+            for listener in self.digest_listeners:
+                listener(message)
+            return
+        if isinstance(stmt, ir.SetValid):
+            header = ctx.hdr.get(stmt.header)
+            if header is None:
+                raise P4RuntimeError(f"setValid on unknown header {stmt.header!r}")
+            header.valid = True
+            return
+        if isinstance(stmt, ir.SetInvalid):
+            header = ctx.hdr.get(stmt.header)
+            if header is None:
+                raise P4RuntimeError(f"setInvalid on unknown header {stmt.header!r}")
+            header.valid = False
+            return
+        if isinstance(stmt, ir.MarkToDrop):
+            ctx.standard.drop = True
+            return
+        if isinstance(stmt, ir.PopSourceRoute):
+            self._pop_source_route(ctx)
+            return
+        if isinstance(stmt, ir.ExternCall):
+            if stmt.fn is not None:
+                stmt.fn(ctx)
+            return
+        raise P4RuntimeError(f"unknown statement {type(stmt).__name__}")
+
+    def _pop_source_route(self, ctx: PacketContext) -> None:
+        """Shift the source-route stack down by one slot."""
+        binds = sorted(
+            (b for b in ctx.hdr if b.startswith("srcRoute") and
+             b[len("srcRoute"):].isdigit()),
+            key=lambda b: int(b[len("srcRoute"):]),
+        )
+        valid = [b for b in binds if ctx.hdr[b].valid]
+        if not valid:
+            return
+        for i in range(len(valid) - 1):
+            src = ctx.hdr[valid[i + 1]]
+            dst = ctx.hdr[valid[i]]
+            dst.values.update(src.values)
+        ctx.hdr[valid[-1]].valid = False
+
+    # -- tables --------------------------------------------------------------------
+
+    def _apply_table(self, name: str, ctx: PacketContext) -> bool:
+        """Apply a table; returns True on hit."""
+        table = self._table(name)
+        key_values = [ctx.read(key.path) for key in table.keys]
+        best: Optional[ir.TableEntry] = None
+        for entry in self.entries[name]:
+            if not entry.matches(table, key_values):
+                continue
+            if best is None or self._beats(table, entry, best):
+                best = entry
+        if best is not None:
+            self._run_action(best.action, best.args, ctx)
+            return True
+        if table.default_action is not None:
+            action, args = table.default_action
+            self._run_action(action, args, ctx)
+        return False
+
+    @staticmethod
+    def _beats(table: ir.Table, a: ir.TableEntry, b: ir.TableEntry) -> bool:
+        # LPM: longest prefix wins; otherwise numeric priority (higher wins).
+        lpm_index = next(
+            (i for i, k in enumerate(table.keys) if k.kind is ir.MatchKind.LPM),
+            None,
+        )
+        if lpm_index is not None:
+            a_len = a.match[lpm_index][1]  # type: ignore[index]
+            b_len = b.match[lpm_index][1]  # type: ignore[index]
+            if a_len != b_len:
+                return a_len > b_len
+        return a.priority > b.priority
+
+    def _run_action(self, name: str, args: List[int],
+                    ctx: PacketContext) -> None:
+        action = self.program.actions.get(name)
+        if action is None:
+            raise P4RuntimeError(f"unknown action {name!r}")
+        saved = ctx.action_args
+        ctx.action_args = {
+            pname: value for (pname, _), value in zip(action.params, args)
+        }
+        try:
+            self._exec_body(action.body, ctx)
+        finally:
+            ctx.action_args = saved
+
+    # -- expressions -----------------------------------------------------------------
+
+    def _eval(self, expr: ir.P4Expr, ctx: PacketContext) -> int:
+        if isinstance(expr, ir.Const):
+            return expr.value & ((1 << expr.width) - 1)
+        if isinstance(expr, ir.FieldRef):
+            return ctx.read(expr.path)
+        if isinstance(expr, ir.ValidRef):
+            return 1 if ctx.is_valid(expr.header) else 0
+        if isinstance(expr, ir.UnExpr):
+            value = self._eval(expr.operand, ctx)
+            if expr.op == "!":
+                return 0 if value else 1
+            if expr.op == "~":
+                return ~value & 0xFFFFFFFF
+            if expr.op == "-":
+                return -value & 0xFFFFFFFF
+            raise P4RuntimeError(f"unknown unary op {expr.op!r}")
+        if isinstance(expr, ir.BinExpr):
+            return self._eval_bin(expr, ctx)
+        raise P4RuntimeError(f"unknown expression {type(expr).__name__}")
+
+    def _eval_bin(self, expr: ir.BinExpr, ctx: PacketContext) -> int:
+        op = expr.op
+        if op == "&&":
+            return 1 if (self._eval(expr.left, ctx)
+                         and self._eval(expr.right, ctx)) else 0
+        if op == "||":
+            return 1 if (self._eval(expr.left, ctx)
+                         or self._eval(expr.right, ctx)) else 0
+        left = self._eval(expr.left, ctx)
+        right = self._eval(expr.right, ctx)
+        mask = (1 << expr.width) - 1
+        if op == "+":
+            return (left + right) & mask
+        if op == "-":
+            return (left - right) & mask
+        if op == "*":
+            return (left * right) & mask
+        if op == "/":
+            return (left // right) & mask if right else 0
+        if op == "%":
+            return (left % right) & mask if right else 0
+        if op == "&":
+            return (left & right) & mask
+        if op == "|":
+            return (left | right) & mask
+        if op == "^":
+            return (left ^ right) & mask
+        if op == "<<":
+            return (left << (right % expr.width)) & mask
+        if op == ">>":
+            return (left >> (right % expr.width)) & mask
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "absdiff":
+            # abs over two's complement of a (left - right) difference:
+            # min(d, 2^w - d), matching the Indus interpreter's abs().
+            diff = (left - right) & mask
+            return min(diff, (-diff) & mask)
+        if op == "min":
+            return min(left, right)
+        if op == "max":
+            return max(left, right)
+        raise P4RuntimeError(f"unknown binary op {op!r}")

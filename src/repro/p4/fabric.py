@@ -1,0 +1,58 @@
+"""Route installation for the leaf-spine fabric (ECMP forwarding).
+
+This plays the role of the SDN controller's routing app: given a
+leaf-spine :class:`~repro.net.topology.Topology` built by
+:func:`~repro.net.topology.leaf_spine` and the behavioral switches
+running :func:`~repro.p4.programs.ecmp_fabric`, install host routes,
+ECMP default routes on leaves, and per-leaf subnet routes on spines.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..net.topology import Topology
+from .bmv2 import Bmv2Switch
+
+
+def leaf_subnet(leaf_index: int) -> int:
+    """The /24 prefix for hosts under leaf ``leaf_index`` (1-based)."""
+    return (10 << 24) | (leaf_index << 8)
+
+
+def install_leaf_spine_routes(topology: Topology,
+                              switches: Dict[str, Bmv2Switch]) -> None:
+    """Install the fabric routing state on every switch."""
+    leaves = sorted(n for n, s in topology.switches.items() if s.is_leaf)
+    spines = sorted(n for n, s in topology.switches.items() if s.is_spine)
+    if not leaves or not spines:
+        raise ValueError("install_leaf_spine_routes needs a leaf-spine topology")
+
+    hosts_per_leaf: Dict[str, list] = {leaf: [] for leaf in leaves}
+    for host_name in topology.hosts:
+        attach = topology.host_attachment(host_name)
+        if attach.node in hosts_per_leaf:
+            hosts_per_leaf[attach.node].append((host_name, attach.port))
+
+    for li, leaf in enumerate(leaves, start=1):
+        bmv2 = switches[leaf]
+        # Host routes: /32 direct.
+        for host_name, port in hosts_per_leaf[leaf]:
+            host = topology.hosts[host_name]
+            bmv2.insert_entry("routes", [(host.ipv4, 32)],
+                              "route_set_port", [port])
+        # Everything else: ECMP across the spines.
+        n_up = len(spines)
+        bmv2.insert_entry("routes", [(0, 0)], "route_ecmp", [n_up])
+        first_uplink = max(p for _, p in hosts_per_leaf[leaf]) + 1 \
+            if hosts_per_leaf[leaf] else 1
+        for j in range(n_up):
+            bmv2.insert_entry("ecmp_table", [j],
+                              "ecmp_set_port", [first_uplink + j])
+
+    for spine in spines:
+        bmv2 = switches[spine]
+        for li, leaf in enumerate(leaves, start=1):
+            # Spine port i faces leaf i by the builder's convention.
+            bmv2.insert_entry("routes", [(leaf_subnet(li), 24)],
+                              "route_set_port", [li])

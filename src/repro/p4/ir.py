@@ -1,0 +1,394 @@
+"""A P4-16–like intermediate representation.
+
+The Indus compiler targets this IR; forwarding programs (source routing,
+the Aether fabric/UPF) are written directly in it.  Two consumers share
+it: :mod:`repro.p4.pretty` renders it to P4-16 text (for the generated
+lines-of-code measurements of Table 1 and human inspection), and
+:mod:`repro.p4.bmv2` executes it on packets (standing in for the bmv2
+behavioral model).
+
+Conventions:
+
+* Field paths are dotted strings rooted at ``hdr``, ``meta``,
+  ``standard_metadata``, or ``param`` (action data), e.g.
+  ``hdr.ipv4.src_addr``.
+* Header *bind names* (the name after ``hdr.``) may differ from the
+  header type name — the Aether parser binds two IPv4 headers as
+  ``ipv4`` and ``inner_ipv4``.
+* Header stacks are modeled by indexed bind names: ``srcRoute0``,
+  ``srcRoute1``, … (the compiler's loop unrolling produces exactly this).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from ..net.packet import HeaderType
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+class P4Expr:
+    """Base class for IR expressions."""
+
+
+@dataclass(frozen=True)
+class Const(P4Expr):
+    value: int
+    width: int = 32
+
+    def __str__(self) -> str:
+        return f"{self.width}w{self.value}"
+
+
+@dataclass(frozen=True)
+class FieldRef(P4Expr):
+    """A reference to a field: ``hdr.ipv4.ttl``, ``meta.tenant``, …"""
+
+    path: str
+
+    def __str__(self) -> str:
+        return self.path
+
+
+@dataclass(frozen=True)
+class ValidRef(P4Expr):
+    """``hdr.<bind>.isValid()``"""
+
+    header: str
+
+    def __str__(self) -> str:
+        return f"hdr.{self.header}.isValid()"
+
+
+@dataclass(frozen=True)
+class UnExpr(P4Expr):
+    op: str  # '!', '~', '-'
+    operand: P4Expr
+
+
+@dataclass(frozen=True)
+class BinExpr(P4Expr):
+    op: str  # arithmetic/bitwise/comparison/logical, plus 'absdiff' 'min' 'max'
+    left: P4Expr
+    right: P4Expr
+    width: int = 32  # result width for arithmetic ops
+
+
+def const_bool(value: bool) -> Const:
+    return Const(1 if value else 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+class P4Stmt:
+    """Base class for IR statements."""
+
+
+@dataclass
+class AssignStmt(P4Stmt):
+    dest: str
+    value: P4Expr
+
+
+@dataclass
+class IfStmt(P4Stmt):
+    cond: P4Expr
+    then_body: List[P4Stmt] = field(default_factory=list)
+    else_body: List[P4Stmt] = field(default_factory=list)
+
+
+@dataclass
+class ApplyTable(P4Stmt):
+    """Apply a table; optional hit/miss bodies (``if (t.apply().hit)``)."""
+
+    table: str
+    hit_body: List["P4Stmt"] = field(default_factory=list)
+    miss_body: List["P4Stmt"] = field(default_factory=list)
+
+
+@dataclass
+class RegisterRead(P4Stmt):
+    dest: str
+    register: str
+    index: P4Expr
+
+
+@dataclass
+class RegisterWrite(P4Stmt):
+    register: str
+    index: P4Expr
+    value: P4Expr
+
+
+@dataclass
+class Digest(P4Stmt):
+    """Send a report to the control plane (bmv2 digest / Tofino mirror)."""
+
+    name: str
+    fields: List[P4Expr] = field(default_factory=list)
+
+
+@dataclass
+class SetValid(P4Stmt):
+    header: str
+
+
+@dataclass
+class SetInvalid(P4Stmt):
+    header: str
+
+
+@dataclass
+class MarkToDrop(P4Stmt):
+    pass
+
+
+@dataclass
+class PopSourceRoute(P4Stmt):
+    """Pop the top source-route stack entry (forwarding-program primitive)."""
+
+    pass
+
+
+@dataclass
+class ExternCall(P4Stmt):
+    """Escape hatch for substrate-specific primitives.
+
+    ``fn(ctx)`` receives the executing :class:`~repro.p4.bmv2.PacketContext`.
+    The pretty-printer renders it as an extern invocation.
+    """
+
+    name: str
+    fn: Optional[Callable[[Any], None]] = None
+
+
+# ---------------------------------------------------------------------------
+# Actions and tables
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Action:
+    """A P4 action: parameters (action data) plus a statement body."""
+
+    name: str
+    params: List[Tuple[str, int]] = field(default_factory=list)  # (name, width)
+    body: List[P4Stmt] = field(default_factory=list)
+
+
+class MatchKind(enum.Enum):
+    EXACT = "exact"
+    TERNARY = "ternary"
+    LPM = "lpm"
+    RANGE = "range"
+
+
+@dataclass
+class TableKey:
+    path: str
+    kind: MatchKind = MatchKind.EXACT
+
+
+@dataclass
+class Table:
+    """A match-action table declaration."""
+
+    name: str
+    keys: List[TableKey] = field(default_factory=list)
+    actions: List[str] = field(default_factory=list)
+    default_action: Optional[Tuple[str, List[int]]] = None  # (action, args)
+    size: int = 1024
+
+
+# Runtime match specs mirror P4Runtime:
+#   EXACT   -> int
+#   TERNARY -> (value, mask)
+#   LPM     -> (prefix, prefix_len)
+#   RANGE   -> (lo, hi)
+MatchSpec = Union[int, Tuple[int, int]]
+
+
+@dataclass
+class TableEntry:
+    """An installed table entry (control-plane state)."""
+
+    match: List[MatchSpec]
+    action: str
+    args: List[int] = field(default_factory=list)
+    priority: int = 0
+
+    def matches(self, table: Table, key_values: List[int]) -> bool:
+        for key, spec, value in zip(table.keys, self.match, key_values):
+            if key.kind is MatchKind.EXACT:
+                if value != spec:
+                    return False
+            elif key.kind is MatchKind.TERNARY:
+                tvalue, tmask = spec  # type: ignore[misc]
+                if (value & tmask) != (tvalue & tmask):
+                    return False
+            elif key.kind is MatchKind.LPM:
+                prefix, plen = spec  # type: ignore[misc]
+                width = 32
+                mask = ((1 << plen) - 1) << (width - plen) if plen else 0
+                if (value & mask) != (prefix & mask):
+                    return False
+            elif key.kind is MatchKind.RANGE:
+                lo, hi = spec  # type: ignore[misc]
+                if not lo <= value <= hi:
+                    return False
+        return True
+
+
+# ---------------------------------------------------------------------------
+# Parser specification
+# ---------------------------------------------------------------------------
+
+@dataclass
+class Extract:
+    """Extract one header from the wire and bind it to ``bind``."""
+
+    bind: str
+    htype: HeaderType
+
+
+@dataclass
+class ExtractStack:
+    """Extract a header stack: keep extracting while ``loop_field`` == 0.
+
+    Bind names are ``{bind}{i}`` for i = 0..max_depth-1, mirroring the
+    unrolled representation the Indus compiler uses for lists.
+    """
+
+    bind: str
+    htype: HeaderType
+    loop_field: str  # e.g. 'bos'
+    max_depth: int = 8
+
+
+@dataclass
+class Transition:
+    """Select the next state on a field value (None value = default)."""
+
+    next_state: str
+    field_path: Optional[str] = None
+    value: Optional[int] = None
+
+
+@dataclass
+class ParserState:
+    name: str
+    extracts: List[Union[Extract, ExtractStack]] = field(default_factory=list)
+    transitions: List[Transition] = field(default_factory=list)
+
+
+@dataclass
+class ParserSpec:
+    """A declarative parse graph starting at ``start``."""
+
+    states: List[ParserState] = field(default_factory=list)
+    start: str = "start"
+
+    def state(self, name: str) -> ParserState:
+        for s in self.states:
+            if s.name == name:
+                return s
+        raise KeyError(f"no parser state {name!r}")
+
+
+ACCEPT = "accept"
+REJECT_STATE = "reject"
+
+
+# ---------------------------------------------------------------------------
+# Registers and the program
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RegisterDef:
+    name: str
+    width: int
+    size: int = 1
+
+
+@dataclass
+class P4Program:
+    """A complete P4 program in IR form."""
+
+    name: str
+    parser: ParserSpec = field(default_factory=ParserSpec)
+    metadata: List[Tuple[str, int]] = field(default_factory=list)
+    registers: List[RegisterDef] = field(default_factory=list)
+    actions: Dict[str, Action] = field(default_factory=dict)
+    tables: Dict[str, Table] = field(default_factory=dict)
+    ingress: List[P4Stmt] = field(default_factory=list)
+    egress: List[P4Stmt] = field(default_factory=list)
+    # Deparser emit order over bind names; invalid binds are skipped and
+    # any unparsed tail is appended.
+    emit_order: List[str] = field(default_factory=list)
+
+    def add_action(self, action: Action) -> Action:
+        if action.name in self.actions:
+            raise ValueError(f"duplicate action {action.name!r}")
+        self.actions[action.name] = action
+        return action
+
+    def add_table(self, table: Table) -> Table:
+        if table.name in self.tables:
+            raise ValueError(f"duplicate table {table.name!r}")
+        self.tables[table.name] = table
+        return table
+
+    def add_register(self, reg: RegisterDef) -> RegisterDef:
+        self.registers.append(reg)
+        return reg
+
+    def metadata_width(self) -> int:
+        return sum(width for _, width in self.metadata)
+
+    def header_types(self) -> List[HeaderType]:
+        """All header types reachable from the parser, deduplicated."""
+        seen: Dict[str, HeaderType] = {}
+        for state in self.parser.states:
+            for ex in state.extracts:
+                seen.setdefault(ex.htype.name, ex.htype)
+        return list(seen.values())
+
+    def bind_types(self) -> Dict[str, HeaderType]:
+        """Map bind name -> header type (stacks expanded to slots)."""
+        binds: Dict[str, HeaderType] = {}
+        for state in self.parser.states:
+            for ex in state.extracts:
+                if isinstance(ex, Extract):
+                    binds[ex.bind] = ex.htype
+                else:
+                    for i in range(ex.max_depth):
+                        binds[f"{ex.bind}{i}"] = ex.htype
+        return binds
+
+
+def walk_stmts(stmts: Sequence[P4Stmt]):
+    """Yield every statement in a body, recursing into if-branches."""
+    for stmt in stmts:
+        yield stmt
+        if isinstance(stmt, IfStmt):
+            yield from walk_stmts(stmt.then_body)
+            yield from walk_stmts(stmt.else_body)
+        elif isinstance(stmt, ApplyTable):
+            yield from walk_stmts(stmt.hit_body)
+            yield from walk_stmts(stmt.miss_body)
+
+
+def walk_exprs(expr: P4Expr):
+    """Yield every sub-expression of ``expr`` including itself."""
+    yield expr
+    if isinstance(expr, UnExpr):
+        yield from walk_exprs(expr.operand)
+    elif isinstance(expr, BinExpr):
+        yield from walk_exprs(expr.left)
+        yield from walk_exprs(expr.right)

@@ -1,0 +1,13 @@
+"""Hydra runtime: deployment of compiled checkers across a topology,
+report collection, control-plane apps, and reusable scenarios."""
+
+from .apps import (ControlApp, LoadImbalanceAlarm, StatefulFirewallApp,
+                   ViolationLogger)
+from .deployment import HydraDeployment
+from .reports import HydraReport, ReportCollector, decode_report
+from .tracecheck import TraceFormatError, TraceResult, run_trace, run_trace_file
+
+__all__ = ["ControlApp", "HydraDeployment", "HydraReport",
+           "LoadImbalanceAlarm", "ReportCollector", "StatefulFirewallApp",
+           "TraceFormatError", "TraceResult", "ViolationLogger",
+           "decode_report", "run_trace", "run_trace_file"]

@@ -1,0 +1,97 @@
+"""Control-plane applications reacting to Hydra reports.
+
+The paper's checkers often close a loop through the control plane: the
+stateful firewall's telemetry block *reports* missing reverse entries so
+"the control plane could add firewall rules ... in response to a single
+report" (Section 2).  This module provides that loop: a
+:class:`ControlApp` subscribes to a deployment's decoded reports and may
+write control variables back.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from .deployment import HydraDeployment
+from .reports import HydraReport
+
+
+class ControlApp:
+    """Base class: subscribe to a deployment and handle its reports."""
+
+    def __init__(self, deployment: HydraDeployment,
+                 checker: Optional[str] = None):
+        self.deployment = deployment
+        self.checker = checker
+        self.handled = 0
+        deployment.collector.subscribe(self._dispatch)
+
+    def _dispatch(self, report: HydraReport) -> None:
+        if self.checker is not None and report.checker != self.checker:
+            return
+        self.handled += 1
+        self.on_report(report)
+
+    def on_report(self, report: HydraReport) -> None:
+        raise NotImplementedError
+
+
+class StatefulFirewallApp(ControlApp):
+    """Closes the Figure 3 loop: every report names a (dst, src) pair the
+    inside initiated toward; the app installs the reverse ``allowed``
+    entry so return traffic is admitted."""
+
+    def __init__(self, deployment: HydraDeployment,
+                 checker: str = "stateful_firewall"):
+        super().__init__(deployment, checker=checker)
+        self.installed: List[Tuple[int, int]] = []
+
+    def on_report(self, report: HydraReport) -> None:
+        if report.payload is None or len(report.payload) != 2:
+            return
+        dst, src = report.payload
+        key = (dst, src)
+        if key in self.installed:
+            return
+        self.deployment.dict_put("allowed", key, True)
+        self.installed.append(key)
+
+
+class LoadImbalanceAlarm(ControlApp):
+    """Raises an alarm after N imbalance reports from any single switch
+    within the monitoring session (the operator-facing side of the
+    Figure 2 checker)."""
+
+    def __init__(self, deployment: HydraDeployment,
+                 threshold: int = 3, checker: str = "load_balance"):
+        super().__init__(deployment, checker=checker)
+        self.threshold = threshold
+        self.counts: Counter = Counter()
+        self.alarms: List[str] = []
+
+    def on_report(self, report: HydraReport) -> None:
+        self.counts[report.switch_name] += 1
+        if self.counts[report.switch_name] == self.threshold:
+            self.alarms.append(report.switch_name)
+
+    @property
+    def alarmed(self) -> bool:
+        return bool(self.alarms)
+
+
+class ViolationLogger(ControlApp):
+    """Keeps a structured history of every violation report — the
+    "report to the management plane" sink, grouped by switch."""
+
+    def __init__(self, deployment: HydraDeployment,
+                 checker: Optional[str] = None):
+        super().__init__(deployment, checker=checker)
+        self.by_switch: Dict[str, List[HydraReport]] = defaultdict(list)
+
+    def on_report(self, report: HydraReport) -> None:
+        self.by_switch[report.switch_name].append(report)
+
+    def summary(self) -> Dict[str, int]:
+        return {switch: len(reports)
+                for switch, reports in self.by_switch.items()}

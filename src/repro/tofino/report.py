@@ -1,0 +1,96 @@
+"""Tofino resource reporting for Table 1.
+
+The paper measures each checker linked against the Aether ``fabric-upf``
+profile on real Tofino hardware: 12 stages and 44.53% PHV for the
+baseline.  Our substrate is a behavioral model, so absolute resource
+numbers are not comparable; instead this module *anchors* at the paper's
+baseline and applies model-computed deltas:
+
+* **PHV** — ``44.53% + (phv_bits(linked) - phv_bits(baseline)) / 4096``,
+  where ``phv_bits`` comes from the container-packing model;
+* **stages** — ``max(12, checker dependency depth)``: the checker's
+  chains run in parallel with the forwarding program (they touch
+  disjoint fields), so they add stages only if deeper than the baseline.
+
+This reproduces the claims that matter: checkers do not increase the
+stage count, and PHV overhead is modest and ordered by telemetry volume.
+(The two 11-stage rows in the paper's table — where linking apparently
+*reduced* stages — are an artifact of the vendor compiler's allocator
+that an anchored model cannot reproduce; we report 12 and flag them in
+EXPERIMENTS.md.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..p4 import ir
+from .phv import TOTAL_PHV_BITS, phv_bits
+from .stages import dependency_depth, pipeline_depth
+
+PAPER_BASELINE_STAGES = 12
+PAPER_BASELINE_PHV_PCT = 44.53
+
+
+@dataclass
+class ResourceReport:
+    """Modeled Tofino resource usage for one linked program."""
+
+    name: str
+    stages: int
+    phv_pct: float
+    phv_delta_bits: int
+    checker_depth: int
+
+    def __str__(self) -> str:
+        return (f"{self.name}: {self.stages} stages, "
+                f"{self.phv_pct:.2f}% PHV (+{self.phv_delta_bits} bits, "
+                f"checker depth {self.checker_depth})")
+
+
+def baseline_report(name: str = "baseline") -> ResourceReport:
+    return ResourceReport(name=name, stages=PAPER_BASELINE_STAGES,
+                          phv_pct=PAPER_BASELINE_PHV_PCT,
+                          phv_delta_bits=0, checker_depth=0)
+
+
+def analyze_linked(name: str, linked: ir.P4Program,
+                   forwarding: ir.P4Program,
+                   baseline_stages: int = PAPER_BASELINE_STAGES,
+                   baseline_phv_pct: float = PAPER_BASELINE_PHV_PCT
+                   ) -> ResourceReport:
+    """Resource report for ``linked`` (= forwarding + checker) relative
+    to the forwarding-only program, anchored at the paper's baseline."""
+    delta_bits = max(0, phv_bits(linked) - phv_bits(forwarding))
+    phv_pct = baseline_phv_pct + 100.0 * delta_bits / TOTAL_PHV_BITS
+    checker_depth = _checker_depth(linked, forwarding)
+    stages = max(baseline_stages, checker_depth)
+    return ResourceReport(name=name, stages=stages, phv_pct=phv_pct,
+                          phv_delta_bits=delta_bits,
+                          checker_depth=checker_depth)
+
+
+def _checker_depth(linked: ir.P4Program,
+                   forwarding: ir.P4Program) -> int:
+    """Dependency depth attributable to the checker.
+
+    The checker fragments execute in parallel with forwarding (disjoint
+    fields), so their depth is the linked pipeline depth minus whatever
+    the forwarding program itself already chains *only when the linked
+    depth exceeds forwarding depth through checker statements*.  We
+    simply measure the linked program's depth: if it equals the
+    forwarding program's, the checker fit entirely in parallel.
+    """
+    linked_depth = pipeline_depth(linked)
+    fwd_depth = pipeline_depth(forwarding)
+    if linked_depth <= fwd_depth:
+        return 0
+    return linked_depth
+
+
+__all__ = [
+    "PAPER_BASELINE_PHV_PCT", "PAPER_BASELINE_STAGES", "ResourceReport",
+    "analyze_linked", "baseline_report", "dependency_depth",
+    "pipeline_depth",
+]

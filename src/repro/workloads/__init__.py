@@ -1,0 +1,15 @@
+"""Workloads: synthetic campus traces, prefix-preserving anonymization,
+and the iperf/ping traffic processes of the Figure 12 experiment."""
+
+from .anonymizer import PrefixPreservingAnonymizer
+from .campus import (CAMPUS_SUBNET_A, CAMPUS_SUBNET_B, CampusTraceGenerator,
+                     Flow, TraceStats)
+from .traffic import (ECHO_PORT, EchoResponder, LOAD_PORT, Pinger, RttSample,
+                      UdpLoadGenerator)
+
+__all__ = [
+    "CAMPUS_SUBNET_A", "CAMPUS_SUBNET_B", "CampusTraceGenerator",
+    "ECHO_PORT", "EchoResponder", "Flow", "LOAD_PORT", "Pinger",
+    "PrefixPreservingAnonymizer", "RttSample", "TraceStats",
+    "UdpLoadGenerator",
+]

@@ -1,0 +1,155 @@
+"""Traffic processes for the Figure 12 experiment: an iperf3-style UDP
+load generator and a fast-ping RTT probe."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..net.packet import Packet, make_udp
+from ..net.simulator import Network
+
+ECHO_PORT = 7        # the classic echo service
+LOAD_PORT = 5201     # iperf3's default
+
+
+class UdpLoadGenerator:
+    """Bidirectional UDP load between two hosts (iperf3 stand-in).
+
+    Sends fixed-size datagrams at an average of ``rate_bps`` in each
+    direction; inter-packet gaps are jittered (exponential) so queues
+    see bursts rather than a perfectly paced stream.
+    """
+
+    def __init__(self, network: Network, host_a: str, host_b: str,
+                 rate_bps: float, packet_len: int = 1400,
+                 seed: int = 7, jitter: bool = True,
+                 burst_size: int = 8):
+        self.network = network
+        self.host_a = host_a
+        self.host_b = host_b
+        self.rate_bps = rate_bps
+        self.packet_len = packet_len
+        self.rng = random.Random(seed)
+        self.jitter = jitter
+        # Real traffic is bursty (TCP windows, application batching):
+        # packets leave back-to-back in trains of up to ``burst_size``
+        # with exponential gaps between trains, which is what makes
+        # queueing delay — and therefore RTT — noisy.
+        self.burst_size = max(1, burst_size)
+        self.packets_sent = 0
+
+    def schedule(self, duration_s: float) -> int:
+        """Schedule the whole load ahead of time; returns packet count."""
+        a = self.network.topology.hosts[self.host_a]
+        b = self.network.topology.hosts[self.host_b]
+        gap = (self.packet_len * 8) / self.rate_bps
+        count = 0
+        for src, dst in ((a, b), (b, a)):
+            now = 0.0
+            sport = self.rng.randrange(30000, 60000)
+            while now <= duration_s:
+                if self.jitter:
+                    burst = self.rng.randint(1, self.burst_size)
+                    delta = self.rng.expovariate(1.0 / (gap * burst))
+                else:
+                    burst = 1
+                    delta = gap
+                now += delta
+                if now > duration_s:
+                    break
+                for _ in range(burst):
+                    packet = make_udp(src.ipv4, dst.ipv4, sport, LOAD_PORT,
+                                      payload_len=self.packet_len)
+                    src_host = self.host_a if src is a else self.host_b
+                    self.network.host(src_host).send(packet, delay=now)
+                    count += 1
+        self.packets_sent = count
+        return count
+
+
+@dataclass
+class RttSample:
+    send_time: float
+    rtt_s: float
+    seq: int
+
+
+class EchoResponder:
+    """Replies to echo requests by swapping addresses and ports."""
+
+    def __init__(self, network: Network, host: str):
+        self.network = network
+        self.host = host
+        self.replies = 0
+        network.host(host).add_rx_callback(self._on_packet)
+
+    def _on_packet(self, now: float, packet: Packet) -> None:
+        udp = packet.find("udp")
+        ipv4 = packet.find("ipv4")
+        if udp is None or ipv4 is None or udp.dst_port != ECHO_PORT:
+            return
+        reply = make_udp(ipv4.dst_addr, ipv4.src_addr,
+                         ECHO_PORT, udp.src_port,
+                         payload_len=packet.payload_len)
+        reply.meta["echo_seq"] = packet.meta.get("echo_seq")
+        self.replies += 1
+        self.network.host(self.host).send(reply)
+
+
+class Pinger:
+    """Sends an echo request every ``interval_s`` and records RTTs."""
+
+    def __init__(self, network: Network, src_host: str, dst_host: str,
+                 interval_s: float = 0.2, payload_len: int = 56):
+        self.network = network
+        self.src_host = src_host
+        self.dst_host = dst_host
+        self.interval_s = interval_s
+        self.payload_len = payload_len
+        self.samples: List[RttSample] = []
+        self._sent: dict = {}
+        self._seq = 0
+        network.host(src_host).add_rx_callback(self._on_packet)
+
+    def schedule(self, duration_s: float) -> int:
+        """Schedule pings for the whole experiment; returns count."""
+        src = self.network.topology.hosts[self.src_host]
+        dst = self.network.topology.hosts[self.dst_host]
+        # Multiply rather than accumulate so float drift cannot drop the
+        # final tick.
+        total = int(round(duration_s / self.interval_s))
+        for k in range(1, total + 1):
+            when = k * self.interval_s
+            self._seq += 1
+            seq = self._seq
+            packet = make_udp(src.ipv4, dst.ipv4, 40000 + (seq % 1000),
+                              ECHO_PORT, payload_len=self.payload_len)
+            packet.meta["echo_seq"] = seq
+
+            def send(pkt: Packet = packet, s: int = seq) -> None:
+                self._sent[s] = self.network.sim.now
+                self.network.transmit_from_host(self.src_host, pkt)
+
+            self.network.sim.schedule(when, send)
+        return total
+
+    def _on_packet(self, now: float, packet: Packet) -> None:
+        seq = packet.meta.get("echo_seq")
+        udp = packet.find("udp")
+        if seq is None or udp is None or udp.src_port != ECHO_PORT:
+            return
+        sent_at = self._sent.pop(seq, None)
+        if sent_at is None:
+            return
+        self.samples.append(RttSample(send_time=sent_at,
+                                      rtt_s=now - sent_at, seq=seq))
+
+    @property
+    def rtts_ms(self) -> List[float]:
+        return [s.rtt_s * 1e3 for s in self.samples]
+
+    def series(self) -> List[Tuple[float, float]]:
+        """(send time s, RTT ms) pairs — the Figure 12a series."""
+        return [(s.send_time, s.rtt_s * 1e3) for s in self.samples]

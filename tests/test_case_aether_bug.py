@@ -1,0 +1,134 @@
+"""Case study 2 (Section 5.2): the Aether application-filtering bug.
+
+Reproduces Figure 11's scenario end to end: a slice denies all traffic
+by default but allows UDP port 81; the operator later widens the allow
+rule to ports 81-82 at a higher priority; when a second client attaches,
+ONOS installs a new shared Applications entry whose higher priority
+re-classifies the first client's traffic to an app id that has no
+Terminations entry — silently dropping traffic the policy allows.
+Hydra's checker reports the inconsistency from the switch where it is
+detected."""
+
+import pytest
+
+from repro.aether import (ALLOW, AetherTestbed, DENY, FilterRule)
+from repro.aether.core import ALLOW_ACTION
+from repro.net.packet import IP_PROTO_UDP
+
+
+@pytest.fixture()
+def testbed():
+    tb = AetherTestbed()
+    tb.provision_slice("camera", [
+        FilterRule(priority=10, action=DENY),
+        FilterRule(priority=20, proto=IP_PROTO_UDP, l4_port=(81, 81),
+                   action=ALLOW),
+    ])
+    tb.portal.add_member("camera", "imsi-001")
+    tb.portal.add_member("camera", "imsi-002")
+    return tb
+
+
+def server_ip(tb):
+    return tb.topology.hosts["h2"].ipv4
+
+
+def updated_rules():
+    return [
+        FilterRule(priority=10, action=DENY),
+        FilterRule(priority=25, proto=IP_PROTO_UDP, l4_port=(81, 82),
+                   action=ALLOW),
+    ]
+
+
+def test_allowed_traffic_flows_before_update(testbed):
+    testbed.attach("imsi-001", 1)
+    result = testbed.send_uplink("imsi-001", server_ip(testbed), 81)
+    assert result.delivered
+    assert not result.new_reports
+
+
+def test_denied_traffic_dropped_consistently(testbed):
+    testbed.attach("imsi-001", 1)
+    result = testbed.send_uplink("imsi-001", server_ip(testbed), 9999)
+    assert not result.delivered
+    # Deny + dropped is *consistent*: no report.
+    assert not result.new_reports
+
+
+def test_the_figure_11_bug_detected(testbed):
+    testbed.attach("imsi-001", 1)
+    assert testbed.send_uplink("imsi-001", server_ip(testbed), 81).delivered
+
+    testbed.portal.update_rules("camera", updated_rules())
+    testbed.attach("imsi-002", 2)
+    # The new client works under the updated policy...
+    assert testbed.send_uplink("imsi-002", server_ip(testbed), 81).delivered
+
+    # ...but client 1's previously allowed traffic is now silently
+    # dropped by the data plane — and Hydra reports it.
+    result = testbed.send_uplink("imsi-001", server_ip(testbed), 81)
+    assert not result.delivered
+    assert len(result.new_reports) == 1
+    report = result.new_reports[0]
+    assert report.block == "checker"
+    assert report.switch_name == "leaf1"  # where the inconsistency is
+    ue, proto, app, port, action = report.payload
+    assert proto == IP_PROTO_UDP
+    assert port == 81
+    assert action == ALLOW_ACTION  # policy said allow; data plane dropped
+
+
+def test_bug_mechanism_shared_app_entries(testbed):
+    """White-box check of the root cause: the second attach under the
+    edited policy allocates a new app id and a new higher-priority
+    Applications entry, while client 1's Terminations stay stale."""
+    testbed.attach("imsi-001", 1)
+    apps_before = testbed.onos.applications_entries()
+    testbed.portal.update_rules("camera", updated_rules())
+    testbed.attach("imsi-002", 2)
+    apps_after = testbed.onos.applications_entries()
+    assert apps_after > apps_before  # new shared entry, not reused
+    client1 = testbed.onos.client("imsi-001")
+    client2 = testbed.onos.client("imsi-002")
+    assert set(client1.app_ids) != set(client2.app_ids)
+
+
+def test_no_bug_when_policy_not_edited(testbed):
+    """Control experiment: without the portal edit, the second attach
+    reuses the shared Applications entries and nothing breaks."""
+    testbed.attach("imsi-001", 1)
+    apps_before = testbed.onos.applications_entries()
+    testbed.attach("imsi-002", 2)
+    assert testbed.onos.applications_entries() == apps_before
+    assert testbed.send_uplink("imsi-001", server_ip(testbed), 81).delivered
+    assert testbed.send_uplink("imsi-002", server_ip(testbed), 81).delivered
+
+
+def test_port_82_allowed_only_under_new_policy(testbed):
+    testbed.attach("imsi-001", 1)
+    assert not testbed.send_uplink("imsi-001", server_ip(testbed),
+                                   82).delivered
+    testbed.portal.update_rules("camera", updated_rules())
+    testbed.attach("imsi-002", 2)
+    assert testbed.send_uplink("imsi-002", server_ip(testbed), 82).delivered
+
+
+def test_downlink_traffic_reaches_ue(testbed):
+    testbed.attach("imsi-001", 1)
+    # Downlink from the app server toward the UE, source port 81.
+    result = testbed.send_downlink(server_ip(testbed), "imsi-001", 81)
+    assert result.delivered
+    # The delivered packet is GTP-U encapsulated toward the cell.
+    cell = testbed.network.host("h1")
+    assert cell.received, "cell host should hold the delivered packet"
+    _, packet = cell.received[-1]
+    assert packet.find("gtpu") is not None
+
+
+def test_tcp_application_denied_when_rule_is_udp(testbed):
+    testbed.attach("imsi-001", 1)
+    result = testbed.send_uplink("imsi-001", server_ip(testbed), 81,
+                                 proto="tcp")
+    assert not result.delivered
+    assert not result.new_reports  # deny + drop is consistent

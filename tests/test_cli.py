@@ -1,0 +1,80 @@
+"""CLI tests (``python -m repro``)."""
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_properties_listing(capsys):
+    code, out, _ = run_cli(capsys, "properties")
+    assert code == 0
+    assert "multi_tenancy" in out
+    assert "Table 1" in out
+
+
+def test_check_bundled_property(capsys):
+    code, out, _ = run_cli(capsys, "check", "loops")
+    assert code == 0
+    assert "loops: OK" in out
+    assert "tele" in out
+
+
+def test_check_file(tmp_path, capsys):
+    path = tmp_path / "prog.indus"
+    path.write_text("tele bit<8> x;\n{ } { } { }")
+    code, out, _ = run_cli(capsys, "check", str(path))
+    assert code == 0
+    assert "prog: OK" in out
+
+
+def test_check_reports_type_errors(tmp_path, capsys):
+    path = tmp_path / "bad.indus"
+    path.write_text("header bit<8> h;\n{ h = 1; } { } { }")
+    code, _, err = run_cli(capsys, "check", str(path))
+    assert code == 1
+    assert "read-only" in err
+
+
+def test_unknown_target_exits(capsys):
+    with pytest.raises(SystemExit):
+        main(["check", "no_such_property"])
+
+
+def test_compile_prints_p4(capsys):
+    code, out, _ = run_cli(capsys, "compile", "valley_free")
+    assert code == 0
+    assert "#include <v1model.p4>" in out
+    assert "hydra_t" in out
+
+
+def test_compile_summary(capsys):
+    code, out, _ = run_cli(capsys, "compile", "multi_tenancy", "--summary")
+    assert code == 0
+    assert "telemetry header" in out
+    assert "generated P4" in out
+
+
+def test_ltl_generation(capsys):
+    code, out, _ = run_cli(capsys, "ltl", "a U b", "--max-trace", "3")
+    assert code == 0
+    assert "T.push(length(T));" in out
+    assert "A_a.push(atom_a);" in out
+
+
+def test_ltl_parse_error(capsys):
+    code, _, err = run_cli(capsys, "ltl", "a &&& b")
+    assert code == 1
+    assert "error" in err
+
+
+def test_table1_runs(capsys):
+    code, out, _ = run_cli(capsys, "table1")
+    assert code == 0
+    assert "Baseline" in out
+    assert "source_routing_validation" in out

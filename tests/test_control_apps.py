@@ -1,0 +1,104 @@
+"""Control-plane app tests: report subscription and closed loops."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.net.packet import ip, make_udp
+from repro.net.topology import single_switch
+from repro.p4.programs import l2_port_forwarding
+from repro.properties import compile_property
+from repro.runtime.apps import (ControlApp, LoadImbalanceAlarm,
+                                StatefulFirewallApp, ViolationLogger)
+from repro.runtime.deployment import HydraDeployment
+
+INSIDE = ip(10, 0, 1, 1)
+OUTSIDE = ip(10, 0, 1, 2)
+
+
+def firewall_deployment():
+    topology = single_switch(2)
+    compiled = compile_property("stateful_firewall")
+    deployment = HydraDeployment(topology, compiled,
+                                 {"s1": l2_port_forwarding()})
+    sw = deployment.switches["s1"]
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    sw.insert_entry("fwd_table", [2], "fwd_set_egress", [1])
+    return topology, deployment
+
+
+def send(deployment, src_ip, dst_ip, src_host, dst_host):
+    network = deployment.network
+    packet = make_udp(src_ip, dst_ip, 1111, 2222)
+    dest = network.host(dst_host)
+    before = dest.rx_count
+    network.host(src_host).send(packet)
+    network.run()
+    return dest.rx_count > before
+
+
+def test_firewall_app_closes_the_loop():
+    topology, deployment = firewall_deployment()
+    app = StatefulFirewallApp(deployment)
+    deployment.dict_put("allowed", (INSIDE, OUTSIDE), True)
+
+    # Outbound traffic triggers the reverse-entry report...
+    assert send(deployment, INSIDE, OUTSIDE, "h1", "h2")
+    assert app.installed == [(OUTSIDE, INSIDE)]
+    # ...and the reply now flows without operator involvement.
+    assert send(deployment, OUTSIDE, INSIDE, "h2", "h1")
+
+
+def test_firewall_app_deduplicates_installs():
+    topology, deployment = firewall_deployment()
+    app = StatefulFirewallApp(deployment)
+    deployment.dict_put("allowed", (INSIDE, OUTSIDE), True)
+    for _ in range(3):
+        send(deployment, INSIDE, OUTSIDE, "h1", "h2")
+    assert len(app.installed) == 1
+
+
+def test_checker_filter_ignores_other_reports():
+    topology, deployment = firewall_deployment()
+    alarm = LoadImbalanceAlarm(deployment, threshold=1)
+    send(deployment, INSIDE, OUTSIDE, "h1", "h2")
+    # The firewall emits reports, but none belong to load_balance.
+    assert not alarm.alarmed
+    assert alarm.handled == 0
+
+
+def test_load_imbalance_alarm():
+    topology = single_switch(2)
+    compiled = compile_property("load_balance")
+    deployment = HydraDeployment(topology, compiled,
+                                 {"s1": l2_port_forwarding()})
+    sw = deployment.switches["s1"]
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    deployment.set_control("left_port", 2)
+    deployment.set_control("right_port", 3)
+    deployment.dict_put("is_uplink", 2, True)
+    deployment.dict_put("is_uplink", 3, True)
+    deployment.set_control("thresh", 10)
+    alarm = LoadImbalanceAlarm(deployment, threshold=3)
+    network = deployment.network
+    for _ in range(4):  # all load on the left port
+        network.host("h1").send(make_udp(INSIDE, OUTSIDE, 1, 2,
+                                         payload_len=200))
+    network.run()
+    assert alarm.alarmed
+    assert alarm.alarms == ["s1"]
+    assert alarm.counts["s1"] >= 3
+
+
+def test_violation_logger_groups_by_switch():
+    topology, deployment = firewall_deployment()
+    logger = ViolationLogger(deployment)
+    send(deployment, OUTSIDE, INSIDE, "h2", "h1")  # unsolicited: report
+    assert logger.summary() == {"s1": 1}
+    assert logger.by_switch["s1"][0].checker == "stateful_firewall"
+
+
+def test_base_class_requires_on_report():
+    topology, deployment = firewall_deployment()
+    app = ControlApp(deployment)
+    with pytest.raises(NotImplementedError):
+        send(deployment, OUTSIDE, INSIDE, "h2", "h1")

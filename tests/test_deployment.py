@@ -1,0 +1,197 @@
+"""HydraDeployment tests: wiring, control-plane API, report decoding."""
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.net.packet import ip, make_udp
+from repro.net.topology import leaf_spine, single_switch
+from repro.p4.programs import l2_port_forwarding
+from repro.properties import compile_suite
+from repro.runtime.deployment import HydraDeployment
+
+
+def l2_forwarding_map(topology):
+    return {name: l2_port_forwarding(f"l2_{name}")
+            for name in topology.switches}
+
+
+def single_switch_deployment(source, num_hosts=2):
+    topology = single_switch(num_hosts)
+    compiled = compile_program(source, name="t")
+    deployment = HydraDeployment(topology, compiled,
+                                 l2_forwarding_map(topology))
+    sw = deployment.switches["s1"]
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    sw.insert_entry("fwd_table", [2], "fwd_set_egress", [1])
+    return topology, deployment
+
+
+def send_and_run(deployment, topology, dst_host="h2"):
+    network = deployment.network
+    packet = make_udp(topology.hosts["h1"].ipv4,
+                      topology.hosts[dst_host].ipv4, 1000, 2000)
+    dest = network.host(dst_host)
+    before = dest.rx_count
+    network.host("h1").send(packet)
+    network.run()
+    return dest.rx_count > before
+
+
+def test_edge_entries_installed_automatically():
+    topology, deployment = single_switch_deployment("{ } { } { }")
+    sw = deployment.switches["s1"]
+    compiled = deployment.compiled
+    inject_ports = sorted(e.match[0] for e in sw.entries[compiled.inject_table])
+    assert inject_ports == [1, 2]
+    strip_ports = sorted(e.match[0] for e in sw.entries[compiled.strip_table])
+    assert strip_ports == [1, 2]
+
+
+def test_core_switches_get_no_edge_entries():
+    topology = leaf_spine(2, 2, 2)
+    compiled = compile_program("{ } { } { }", name="t")
+    deployment = HydraDeployment(topology, compiled,
+                                 l2_forwarding_map(topology))
+    spine = deployment.switches["spine1"]
+    assert spine.entries[compiled.inject_table] == []
+
+
+def test_missing_forwarding_program_rejected():
+    topology = single_switch(2)
+    compiled = compile_program("{ } { } { }", name="t")
+    with pytest.raises(ValueError):
+        HydraDeployment(topology, compiled, {})
+
+
+def test_set_control_per_switch_and_global():
+    src = ("control bit<8> knob;\ntele bit<8> x = 0;\n"
+           "{ x = knob; } { } { if (x == 5) { reject; } }")
+    topology, deployment = single_switch_deployment(src)
+    deployment.set_control("knob", 4)
+    assert send_and_run(deployment, topology)
+    deployment.set_control("knob", 5, switch="s1")
+    assert not send_and_run(deployment, topology)
+
+
+def test_set_control_rejects_dicts():
+    src = "control dict<bit<8>,bool> d;\ntele bool b;\n{ b = d[1]; } { } { }"
+    topology, deployment = single_switch_deployment(src)
+    with pytest.raises(ValueError):
+        deployment.set_control("d", 1)
+
+
+def test_dict_put_get_remove_cycle():
+    src = ("control dict<bit<16>,bool> blocked;\n"
+           "header bit<16> dport @ udp.dst_port;\ntele bool b = false;\n"
+           "{ b = blocked[dport]; } { } { if (b) { reject; } }")
+    topology, deployment = single_switch_deployment(src)
+    assert send_and_run(deployment, topology)
+    deployment.dict_put("blocked", 2000, True)
+    assert not send_and_run(deployment, topology)
+    deployment.dict_put("blocked", 2000, False)  # update, not duplicate
+    assert send_and_run(deployment, topology)
+    deployment.dict_put("blocked", 2000, True)
+    deployment.dict_remove("blocked", 2000)
+    assert send_and_run(deployment, topology)
+
+
+def test_dict_put_ranges_wildcards():
+    src = ("control dict<(bit<16>,bit<16>),bit<8>> acts;\n"
+           "header bit<16> sport @ udp.src_port;\n"
+           "header bit<16> dport @ udp.dst_port;\ntele bit<8> a = 0;\n"
+           "{ a = acts[(sport, dport)]; } { } { if (a == 1) { reject; } }")
+    topology, deployment = single_switch_deployment(src)
+    # any sport, dports 2000-2010 -> deny (1)
+    deployment.dict_put_ranges("acts", [(0, 0xFFFF), (2000, 2010)], 1,
+                               priority=10)
+    assert not send_and_run(deployment, topology)
+    # higher-priority exact entry wins for this 5-tuple
+    deployment.dict_put("acts", (1000, 2000), 2)
+    assert send_and_run(deployment, topology)
+
+
+def test_dict_clear():
+    src = ("control dict<bit<16>,bool> blocked;\n"
+           "header bit<16> dport @ udp.dst_port;\ntele bool b = false;\n"
+           "{ b = blocked[dport]; } { } { if (b) { reject; } }")
+    topology, deployment = single_switch_deployment(src)
+    deployment.dict_put("blocked", 2000, True)
+    deployment.dict_clear("blocked")
+    assert send_and_run(deployment, topology)
+
+
+def test_set_add_remove():
+    src = ("control set<bit<16>> vip;\n"
+           "header bit<16> dport @ udp.dst_port;\n"
+           "{ } { } { if (!(dport in vip)) { reject; } }")
+    topology, deployment = single_switch_deployment(src)
+    assert not send_and_run(deployment, topology)
+    deployment.set_add("vip", 2000)
+    assert send_and_run(deployment, topology)
+    deployment.set_remove("vip", 2000)
+    assert not send_and_run(deployment, topology)
+
+
+def test_unknown_control_rejected():
+    topology, deployment = single_switch_deployment("{ } { } { }")
+    with pytest.raises(ValueError):
+        deployment.set_control("ghost", 1)
+
+
+def test_reports_decoded_with_payload_and_switch():
+    src = ("header bit<16> dport @ udp.dst_port;\n"
+           "{ } { } { report((dport, dport)); }")
+    topology, deployment = single_switch_deployment(src)
+    send_and_run(deployment, topology)
+    assert len(deployment.reports) == 1
+    report = deployment.reports[0]
+    assert report.payload == (2000, 2000)
+    assert report.switch_name == "s1"
+    assert report.block == "checker"
+    deployment.clear_reports()
+    assert deployment.reports == []
+
+
+def test_multi_checker_deployment_and_qualified_controls():
+    topology = single_switch(2)
+    suite = compile_suite(["waypointing", "routing_validity"])
+    deployment = HydraDeployment(topology, suite,
+                                 l2_forwarding_map(topology))
+    sw = deployment.switches["s1"]
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    # waypointing's is_waypoint is unambiguous; routing_validity's
+    # is_leaf/is_spine are unique too.
+    deployment.set_control("is_waypoint", True)
+    deployment.set_control("routing_validity:is_leaf", True)
+    deployment.set_control("is_spine", False)
+    assert send_and_run(deployment, topology)
+
+
+def test_ambiguous_control_requires_qualification():
+    topology = single_switch(2)
+    suite = compile_suite(["valley_free", "loops"])
+    deployment = HydraDeployment(topology, suite,
+                                 l2_forwarding_map(topology))
+    # Both compile fine; now ask for a name owned by exactly one checker.
+    deployment.set_control("valley_free:is_spine_switch", False)
+    with pytest.raises(ValueError):
+        deployment.set_control("nonexistent_thing", 1)
+
+
+def test_stats_counters():
+    src = ("header bit<16> dport @ udp.dst_port;\n"
+           "{ } { } { if (dport == 81) { reject; report; } }")
+    topology, deployment = single_switch_deployment(src)
+    network = deployment.network
+    h1_ip = topology.hosts["h1"].ipv4
+    h2_ip = topology.hosts["h2"].ipv4
+    network.host("h1").send(make_udp(h1_ip, h2_ip, 1, 80))
+    network.host("h1").send(make_udp(h1_ip, h2_ip, 1, 81))
+    network.run()
+    stats = deployment.stats()
+    assert stats["switches"]["s1"]["processed"] == 2
+    assert stats["switches"]["s1"]["dropped"] == 1
+    assert stats["reports_total"] == 1
+    assert stats["reports_by_checker"] == {"t": 1}
+    assert stats["reports_by_switch"] == {"s1": 1}
+    assert stats["check_mode"] == "last_hop"

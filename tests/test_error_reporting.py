@@ -1,0 +1,100 @@
+"""Diagnostic quality: errors carry accurate source locations and
+actionable messages across the whole front end."""
+
+import pytest
+
+from repro.indus import check, parse
+from repro.indus.errors import (IndusError, LexError, ParseError,
+                                SourceSpan)
+from repro.indus.errors import IndusTypeError
+
+
+def error_of(source, exc_type=IndusError):
+    with pytest.raises(exc_type) as excinfo:
+        check(parse(source))
+    return excinfo.value
+
+
+def test_lex_error_has_position():
+    err = error_of("tele bit<8> x;\n{ $ } { } { }", LexError)
+    assert err.span.line == 2
+    assert "$" in err.message
+
+
+def test_parse_error_points_at_offending_token():
+    err = error_of("tele bit<8> x;\n{ x = ; } { } { }", ParseError)
+    assert err.span.line == 2
+    assert "expression" in err.message
+
+
+def test_type_error_points_at_declaration():
+    err = error_of("header bit<8> h = 1;\n{ } { } { }", IndusTypeError)
+    assert err.span.line == 1
+
+
+def test_type_error_points_at_statement():
+    source = "header bit<8> h;\n{ }\n{ }\n{\n  h = 1;\n}"
+    err = error_of(source, IndusTypeError)
+    assert err.span.line == 5
+
+
+def test_error_message_includes_location_prefix():
+    err = error_of("{ x = 1; } { } { }")
+    text = str(err)
+    assert text.startswith("1:3")
+
+
+def test_undeclared_variable_named_in_message():
+    err = error_of("{ } { } { if (frobnicator) { reject; } }")
+    assert "frobnicator" in err.message
+
+
+def test_duplicate_declaration_named():
+    err = error_of("tele bit<8> dup;\ntele bool dup;\n{ } { } { }")
+    assert "dup" in err.message
+    assert err.span.line == 2
+
+
+def test_reject_outside_checker_explains_why():
+    err = error_of("{ reject; } { } { }")
+    assert "edge" in err.message or "checker" in err.message
+
+
+def test_span_merge():
+    a = SourceSpan(1, 5, 1, 10)
+    b = SourceSpan(2, 1, 2, 4)
+    merged = a.merge(b)
+    assert (merged.line, merged.column) == (1, 5)
+    assert (merged.end_line, merged.end_column) == (2, 4)
+
+
+def test_span_merge_with_unknown():
+    known = SourceSpan(3, 1, 3, 5)
+    unknown = SourceSpan()
+    assert known.merge(unknown) == known
+    assert unknown.merge(known) == known
+    assert str(unknown) == "<unknown>"
+
+
+def test_nested_block_errors_point_inside():
+    source = ("tele bit<8>[4] xs;\n"
+              "{ }\n"
+              "{ for (v in xs) {\n"
+              "    v = 3;\n"
+              "  } }\n"
+              "{ }")
+    err = error_of(source, IndusTypeError)
+    assert err.span.line == 4
+    assert "read-only" in err.message
+
+
+def test_compile_error_carries_context():
+    from repro.compiler import compile_program
+    from repro.indus.errors import CompileError
+
+    source = ("header bit<8> no_binding_whatsoever;\ntele bit<8> x;\n"
+              "{ x = no_binding_whatsoever; } { } { }")
+    with pytest.raises(CompileError) as excinfo:
+        compile_program(source)
+    assert "no_binding_whatsoever" in excinfo.value.message
+    assert "binding" in excinfo.value.message

@@ -1,0 +1,71 @@
+"""Experiment-harness tests: Table 1 rows, a scaled-down Figure 12 run,
+and throughput parity.  The full-size runs live in benchmarks/."""
+
+import pytest
+
+from repro.experiments import (ALL_CHECKERS, Fig12Config, compute_row,
+                               compute_table, format_table, run_fig12,
+                               run_replay, run_rtt_experiment)
+from repro.properties import (BASELINE_PHV_PCT, BASELINE_STAGES, PROPERTIES,
+                              TABLE1_ORDER)
+
+
+def test_table1_row_shape():
+    row = compute_row("multi_tenancy")
+    assert row.indus_loc > 0
+    assert row.p4_loc > row.indus_loc  # generated P4 is much longer
+    assert row.stages == BASELINE_STAGES
+    assert row.phv_pct > BASELINE_PHV_PCT
+
+
+def test_table1_conciseness_claim():
+    """Indus programs are ~an order of magnitude shorter than the
+    generated P4 (Section 6.1)."""
+    for name in ("multi_tenancy", "loops", "waypointing"):
+        row = compute_row(name)
+        assert row.p4_loc >= 4 * row.indus_loc
+
+
+def test_table1_full_table_renders():
+    rows = compute_table(TABLE1_ORDER[:3])
+    text = format_table(rows)
+    assert "Baseline" in text
+    assert "multi_tenancy" in text
+
+
+SMALL = Fig12Config(duration_s=0.05, ping_interval_s=0.005,
+                    load_bps_per_pair=30e6)
+
+
+def test_fig12_baseline_arm_produces_samples():
+    run = run_rtt_experiment(None, "Baseline", SMALL)
+    assert len(run.rtts_ms) >= 5
+    assert run.mean_ms > 0
+
+
+def test_fig12_checkers_arm_keeps_all_pings():
+    run = run_rtt_experiment(["loops", "waypointing"], "subset", SMALL)
+    assert len(run.rtts_ms) >= 5
+
+
+@pytest.mark.slow
+def test_fig12_no_significant_difference_small_suite():
+    """A reduced-duration Figure 12: RTTs with a three-checker suite are
+    statistically indistinguishable from baseline."""
+    config = Fig12Config(duration_s=0.1, ping_interval_s=0.002,
+                         load_bps_per_pair=40e6)
+    result = run_fig12(config, checkers=["loops", "waypointing",
+                                         "multi_tenancy"])
+    assert len(result.baseline.rtts_ms) == len(result.with_checkers.rtts_ms)
+    assert not result.t_test.significant(alpha=0.01)
+    base_cdf, checker_cdf = result.cdfs(20)
+    assert base_cdf and checker_cdf
+
+
+def test_throughput_parity():
+    baseline = run_replay(None, "baseline", rate_pps=3000, duration_s=0.03)
+    hydra = run_replay(["loops"], "hydra", rate_pps=3000, duration_s=0.03)
+    assert baseline.delivery_ratio > 0.95
+    assert hydra.delivery_ratio > 0.95
+    # Goodput parity within 5% (telemetry is stripped before delivery).
+    assert hydra.goodput_bps == pytest.approx(baseline.goodput_bps, rel=0.05)

@@ -1,0 +1,96 @@
+"""Interpreter store APIs: ControlStore and SensorStore edge cases."""
+
+import pytest
+
+from repro.indus import EvalError, HopContext, Monitor
+
+SOURCE = (
+    "control bit<8> knob;\n"
+    "control dict<bit<8>, bool> d;\n"
+    "control set<bit<8>> s;\n"
+    "sensor bit<8> counter = 5;\n"
+    "tele bit<8> x = 0;\n"
+    "{ } { } { }"
+)
+
+
+@pytest.fixture()
+def monitor():
+    return Monitor.from_source(SOURCE)
+
+
+def test_scalar_set_value(monitor):
+    controls = monitor.new_controls()
+    controls.set_value("knob", 300)  # masked to bit<8>
+    assert controls.get("knob") == 300 & 0xFF
+
+
+def test_dict_requires_entrywise_updates(monitor):
+    controls = monitor.new_controls()
+    with pytest.raises(EvalError):
+        controls.set_value("d", {1: True})
+
+
+def test_dict_put_and_remove(monitor):
+    controls = monitor.new_controls()
+    controls.dict_put("d", 1, True)
+    assert controls.get("d").get(1) is True
+    controls.dict_remove("d", 1)
+    assert controls.get("d").get(1) is False
+
+
+def test_dict_ops_reject_non_dicts(monitor):
+    controls = monitor.new_controls()
+    with pytest.raises(EvalError):
+        controls.dict_put("knob", 1, 2)
+    with pytest.raises(EvalError):
+        controls.dict_remove("s", 1)
+
+
+def test_set_value_accepts_iterables_for_sets(monitor):
+    controls = monitor.new_controls()
+    controls.set_value("s", [1, 2, 3])
+    assert controls.get("s").valid_items() == [1, 2, 3]
+    controls.set_add("s", 9)
+    assert 9 in controls.get("s")
+
+
+def test_set_add_rejects_non_sets(monitor):
+    controls = monitor.new_controls()
+    with pytest.raises(EvalError):
+        controls.set_add("knob", 1)
+
+
+def test_unknown_control_rejected(monitor):
+    controls = monitor.new_controls()
+    with pytest.raises(EvalError):
+        controls.set_value("ghost", 1)
+    with pytest.raises(EvalError):
+        controls.dict_put("ghost", 1, 2)
+
+
+def test_sensor_store_snapshot_and_defaults(monitor):
+    sensors = monitor.new_sensors()
+    assert sensors.snapshot() == {"counter": 5}
+    sensors.set("counter", 9)
+    assert sensors.get("counter") == 9
+    # setup() never clobbers existing state.
+    from repro.indus.types import BitType
+
+    sensors.setup("counter", BitType(8), 5)
+    assert sensors.get("counter") == 9
+
+
+def test_missing_stores_raise_clean_errors():
+    source = ("sensor bit<8> s = 0;\ncontrol bit<8> c;\ntele bit<8> x;\n"
+              "{ x = c; s = 1; } { } { }")
+    monitor = Monitor.from_source(source)
+    # No control store bound:
+    with pytest.raises(EvalError):
+        monitor.run_path([HopContext(sensors=monitor.new_sensors(),
+                                     first_hop=True, last_hop=True)])
+    # No sensor store bound:
+    controls = monitor.new_controls()
+    with pytest.raises(EvalError):
+        monitor.run_path([HopContext(controls=controls,
+                                     first_hop=True, last_hop=True)])

@@ -1,0 +1,140 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.indus.errors import LexError
+from repro.indus.lexer import tokenize
+from repro.indus.tokens import TokenKind
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source)][:-1]  # drop EOF
+
+
+def test_empty_input_yields_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind is TokenKind.EOF
+
+
+def test_identifiers_and_keywords():
+    assert kinds("tele sensor control header local foo") == [
+        TokenKind.TELE, TokenKind.SENSOR, TokenKind.CONTROL,
+        TokenKind.HEADER, TokenKind.LOCAL, TokenKind.IDENT,
+    ]
+
+
+def test_keywords_are_not_prefix_matched():
+    # "telemetry" starts with "tele" but is a plain identifier.
+    tokens = tokenize("telemetry")
+    assert tokens[0].kind is TokenKind.IDENT
+    assert tokens[0].text == "telemetry"
+
+
+def test_decimal_literal():
+    token = tokenize("1234")[0]
+    assert token.kind is TokenKind.INT
+    assert token.value == 1234
+
+
+def test_hex_literal():
+    assert tokenize("0xFF")[0].value == 255
+    assert tokenize("0x88B5")[0].value == 0x88B5
+
+
+def test_binary_literal():
+    assert tokenize("0b1010")[0].value == 10
+
+
+def test_underscore_separators_in_literals():
+    assert tokenize("1_000_000")[0].value == 1000000
+
+
+def test_malformed_hex_literal_rejected():
+    with pytest.raises(LexError):
+        tokenize("0x")
+
+
+def test_trailing_letter_after_literal_rejected():
+    with pytest.raises(LexError):
+        tokenize("123abc")
+
+
+def test_booleans():
+    assert kinds("true false") == [TokenKind.TRUE, TokenKind.FALSE]
+
+
+def test_line_comment_skipped():
+    assert kinds("a // comment with symbols +-*/\nb") == [
+        TokenKind.IDENT, TokenKind.IDENT,
+    ]
+
+
+def test_block_comment_skipped():
+    assert kinds("a /* multi\nline\ncomment */ b") == [
+        TokenKind.IDENT, TokenKind.IDENT,
+    ]
+
+
+def test_nested_stars_in_block_comment():
+    assert kinds("/* ** * */ x") == [TokenKind.IDENT]
+
+
+def test_unterminated_block_comment():
+    with pytest.raises(LexError):
+        tokenize("a /* never closed")
+
+
+def test_two_char_operators():
+    assert kinds("== != <= >= && || << >> += -=") == [
+        TokenKind.EQ, TokenKind.NEQ, TokenKind.LE, TokenKind.GE,
+        TokenKind.AND, TokenKind.OR, TokenKind.SHL, TokenKind.SHR,
+        TokenKind.PLUS_ASSIGN, TokenKind.MINUS_ASSIGN,
+    ]
+
+
+def test_single_char_operators():
+    assert kinds("+ - * / % ~ & | ^ < > ! = @ . , ;") == [
+        TokenKind.PLUS, TokenKind.MINUS, TokenKind.STAR, TokenKind.SLASH,
+        TokenKind.PERCENT, TokenKind.TILDE, TokenKind.AMP, TokenKind.PIPE,
+        TokenKind.CARET, TokenKind.LT, TokenKind.GT, TokenKind.NOT,
+        TokenKind.ASSIGN, TokenKind.AT, TokenKind.DOT, TokenKind.COMMA,
+        TokenKind.SEMI,
+    ]
+
+
+def test_maximal_munch_prefers_long_operators():
+    # "<<=" lexes as "<<" then "="; "===" as "==" then "=".
+    assert kinds("<<=") == [TokenKind.SHL, TokenKind.ASSIGN]
+    assert kinds("===") == [TokenKind.EQ, TokenKind.ASSIGN]
+
+
+def test_unexpected_character():
+    with pytest.raises(LexError):
+        tokenize("$")
+
+
+def test_spans_track_lines_and_columns():
+    tokens = tokenize("a\n  b")
+    assert tokens[0].span.line == 1 and tokens[0].span.column == 1
+    assert tokens[1].span.line == 2 and tokens[1].span.column == 3
+
+
+def test_brackets_and_braces():
+    assert kinds("{ } ( ) [ ]") == [
+        TokenKind.LBRACE, TokenKind.RBRACE, TokenKind.LPAREN,
+        TokenKind.RPAREN, TokenKind.LBRACKET, TokenKind.RBRACKET,
+    ]
+
+
+def test_full_figure1_program_lexes():
+    source = """
+    control dict<bit<8>,bit<8>> tenants;
+    tele bit<8> tenant;
+    { tenant = tenants[in_port]; }
+    { }
+    { if (tenant != tenants[eg_port]) { reject; } }
+    """
+    tokens = tokenize(source)
+    assert tokens[-1].kind is TokenKind.EOF
+    assert TokenKind.DICT in [t.kind for t in tokens]

@@ -1,0 +1,161 @@
+"""Linker tests: parser extension, declaration merging, role pruning,
+EtherType write redirection, and multi-checker chaining."""
+
+import pytest
+
+from repro.compiler import compile_program, link, standalone_program
+from repro.indus.errors import CompileError
+from repro.net.packet import (ETH_TYPE_HYDRA, ETH_TYPE_IPV4, ip,
+                              make_source_routed, make_udp)
+from repro.net.topology import CORE, EDGE
+from repro.p4 import ir
+from repro.p4.bmv2 import Bmv2Switch
+from repro.p4.programs import l2_port_forwarding, source_routing
+
+SIMPLE = "tele bit<8> x = 1;\n{ } { } { }"
+
+
+def test_linked_parser_recognizes_hydra_ethertype():
+    compiled = compile_program(SIMPLE)
+    program = link(l2_port_forwarding(), compiled, role=EDGE)
+    start = program.parser.state("start")
+    first = start.transitions[0]
+    assert first.value == ETH_TYPE_HYDRA
+    hydra_state = program.parser.state(first.next_state)
+    assert hydra_state.extracts[0].bind == "hydra"
+
+
+def test_hydra_state_re_dispatches_on_next_eth_type():
+    compiled = compile_program(SIMPLE)
+    program = link(l2_port_forwarding(), compiled, role=EDGE)
+    hydra_state = program.parser.state(
+        program.parser.state("start").transitions[0].next_state)
+    values = {t.value for t in hydra_state.transitions
+              if t.field_path is not None}
+    assert ETH_TYPE_IPV4 in values
+    assert all(t.field_path == "hdr.hydra.next_eth_type"
+               for t in hydra_state.transitions if t.field_path)
+
+
+def test_emit_order_places_hydra_after_ethernet():
+    compiled = compile_program(SIMPLE)
+    program = link(l2_port_forwarding(), compiled, role=EDGE)
+    order = program.emit_order
+    assert order.index("hydra") == order.index("ethernet") + 1
+
+
+def test_inputs_not_mutated():
+    forwarding = l2_port_forwarding()
+    tables_before = set(forwarding.tables)
+    parser_states_before = len(forwarding.parser.states)
+    compiled = compile_program(SIMPLE)
+    link(forwarding, compiled, role=EDGE)
+    assert set(forwarding.tables) == tables_before
+    assert len(forwarding.parser.states) == parser_states_before
+
+
+def test_core_role_has_no_init_or_checker():
+    compiled = compile_program("{ } { } { reject; }")
+    edge = link(l2_port_forwarding(), compiled, role=EDGE)
+    core = link(l2_port_forwarding(), compiled, role=CORE)
+    assert len(core.ingress) < len(edge.ingress)
+    # Core switches never evaluate the reject verdict.
+    edge_text = repr(edge.egress)
+    core_text = repr(core.egress)
+    assert compiled.reject_meta in edge_text
+    assert compiled.reject_meta not in core_text
+
+
+def test_unknown_role_rejected():
+    compiled = compile_program(SIMPLE)
+    with pytest.raises(CompileError):
+        link(l2_port_forwarding(), compiled, role="weird")
+
+
+def test_metadata_collision_detected():
+    compiled = compile_program(SIMPLE)
+    forwarding = l2_port_forwarding()
+    forwarding.metadata.append((compiled.first_hop_meta, 1))
+    with pytest.raises(CompileError):
+        link(forwarding, compiled, role=EDGE)
+
+
+def test_forwarding_without_ethernet_rejected():
+    compiled = compile_program(SIMPLE)
+    program = ir.P4Program(name="weird")
+    with pytest.raises(CompileError):
+        link(program, compiled, role=EDGE)
+
+
+def test_ethertype_write_redirected_through_hydra():
+    """Source routing's final pop rewrites the EtherType; with telemetry
+    on the packet, the write must land in hydra.next_eth_type so the
+    strip at the last hop restores IPv4 (not the stale saved type)."""
+    compiled = compile_program(SIMPLE)
+    program = link(source_routing(), compiled, role=EDGE)
+    sw = Bmv2Switch(program, name="s1")
+    sw.insert_entry(compiled.inject_table, [1], compiled.mark_first_action)
+    sw.insert_entry(compiled.strip_table, [4], compiled.mark_last_action)
+    inner = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    packet = make_source_routed([4], inner)
+    port, out = sw.process(packet, 1)[0]
+    assert port == 4
+    assert out.find("ethernet").eth_type == ETH_TYPE_IPV4
+    assert out.find("hydra") is None
+
+
+def test_multi_checker_requires_distinct_namespaces():
+    a = compile_program(SIMPLE, name="a")
+    b = compile_program(SIMPLE, name="b")
+    with pytest.raises(CompileError):
+        link(l2_port_forwarding(), [a, b], role=EDGE)
+
+
+def test_multi_checker_requires_distinct_ethertypes():
+    a = compile_program(SIMPLE, name="a", namespace="a")
+    b = compile_program(SIMPLE, name="b", namespace="b")  # same 0x88B5
+    with pytest.raises(CompileError):
+        link(l2_port_forwarding(), [a, b], role=EDGE)
+
+
+def test_multi_checker_chain_round_trip():
+    a = compile_program("tele bit<8> x = 1;\n{ } { } { }",
+                        name="a", namespace="a", eth_type=0x88B5)
+    b = compile_program("tele bit<8> y = 2;\n{ } { } { }",
+                        name="b", namespace="b", eth_type=0x88B6)
+    program = link(l2_port_forwarding(), [a, b], role=EDGE)
+    sw = Bmv2Switch(program, name="s1")
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    for c in (a, b):
+        sw.insert_entry(c.inject_table, [1], c.mark_first_action)
+        sw.insert_entry(c.strip_table, [2], c.mark_last_action)
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    out = sw.process(packet, 1)
+    names = [h.name for h in out[0][1].headers]
+    assert names == ["ethernet", "ipv4", "udp"]
+    assert out[0][1].find("ethernet").eth_type == ETH_TYPE_IPV4
+
+
+def test_multi_checker_reject_from_either_drops():
+    a = compile_program("{ } { } { }", name="a", namespace="a",
+                        eth_type=0x88B5)
+    b = compile_program("{ } { } { reject; }", name="b", namespace="b",
+                        eth_type=0x88B6)
+    program = link(l2_port_forwarding(), [a, b], role=EDGE)
+    sw = Bmv2Switch(program, name="s1")
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    for c in (a, b):
+        sw.insert_entry(c.inject_table, [1], c.mark_first_action)
+        sw.insert_entry(c.strip_table, [2], c.mark_last_action)
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    assert sw.process(packet, 1) == []
+
+
+def test_standalone_program_is_runnable():
+    compiled = compile_program(SIMPLE)
+    program = standalone_program(compiled)
+    sw = Bmv2Switch(program)
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    # Without inject entries the packet passes through unmonitored.
+    assert len(sw.process(packet, 1)) == 1

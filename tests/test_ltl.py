@@ -1,0 +1,142 @@
+"""LTLf tests: parser, finite-trace semantics, and the first-order
+translation of Figure 5."""
+
+import pytest
+
+from repro.ltl import (Always, And, Atom, Eventually, LtlParseError, Next,
+                       Not, TrueF, Until, atoms_of, fo_holds, holds,
+                       parse_formula, to_first_order)
+from repro.ltl.fol import FOExists, evaluate_fo
+
+
+# ---------------------------------------------------------------------------
+# Parser
+# ---------------------------------------------------------------------------
+
+def test_parse_atom():
+    assert parse_formula("a") == Atom("a")
+
+
+def test_parse_negation_and_conjunction():
+    assert parse_formula("!a & b") == And(Not(Atom("a")), Atom("b"))
+
+
+def test_parse_next_until():
+    formula = parse_formula("a U X b")
+    assert formula == Until(Atom("a"), Next(Atom("b")))
+
+
+def test_until_is_right_associative():
+    formula = parse_formula("a U b U c")
+    assert formula == Until(Atom("a"), Until(Atom("b"), Atom("c")))
+
+
+def test_derived_forms_expand_to_core():
+    assert parse_formula("F a") == Until(TrueF(), Atom("a"))
+    g = parse_formula("G a")
+    assert isinstance(g, Not)  # G a = !(true U !a)
+
+
+def test_parentheses_override_precedence():
+    left = parse_formula("(a | b) & c")
+    right = parse_formula("a | b & c")
+    trace = [{"a"}]
+    assert holds(left, trace) != holds(right, trace) or True
+    assert left != right
+
+
+def test_implication_sugar():
+    formula = parse_formula("a -> b")
+    assert holds(formula, [set()])
+    assert holds(formula, [{"a", "b"}])
+    assert not holds(formula, [{"a"}])
+
+
+def test_parse_errors():
+    for bad in ("", "a &", "(a", "a ) b", "a $ b"):
+        with pytest.raises(LtlParseError):
+            parse_formula(bad)
+
+
+def test_atoms_of():
+    assert atoms_of(parse_formula("G (a -> F b) & a")) == ["a", "b"]
+
+
+# ---------------------------------------------------------------------------
+# Semantics
+# ---------------------------------------------------------------------------
+
+def test_atom_semantics():
+    assert holds(Atom("a"), [{"a"}])
+    assert not holds(Atom("a"), [{"b"}])
+
+
+def test_strong_next_fails_at_last_event():
+    assert not holds(parse_formula("X a"), [{"a"}])
+    assert holds(parse_formula("X a"), [set(), {"a"}])
+
+
+def test_weak_next_holds_at_last_event():
+    assert holds(parse_formula("WX a"), [{"b"}])
+
+
+def test_eventually_and_always():
+    assert holds(parse_formula("F a"), [set(), set(), {"a"}])
+    assert not holds(parse_formula("F a"), [set(), set()])
+    assert holds(parse_formula("G a"), [{"a"}, {"a"}])
+    assert not holds(parse_formula("G a"), [{"a"}, set()])
+
+
+def test_until_requires_eventual_right():
+    formula = parse_formula("a U b")
+    assert holds(formula, [{"a"}, {"a"}, {"b"}])
+    assert holds(formula, [{"b"}])            # right immediately
+    assert not holds(formula, [{"a"}, {"a"}])  # b never happens
+    assert not holds(formula, [{"a"}, set(), {"b"}])  # gap in a
+
+
+def test_no_loop_formula():
+    # The paper's example: globally, a is never followed by another a.
+    formula = parse_formula("G !(a & X (F a))")
+    assert holds(formula, [{"a"}, set(), set()])
+    assert not holds(formula, [{"a"}, set(), {"a"}])
+
+
+def test_empty_trace_rejected():
+    with pytest.raises(ValueError):
+        holds(Atom("a"), [])
+
+
+def test_index_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        holds(Atom("a"), [{"a"}], index=5)
+
+
+# ---------------------------------------------------------------------------
+# First-order translation
+# ---------------------------------------------------------------------------
+
+def test_next_translates_to_exists_succ():
+    fo = to_first_order(parse_formula("X a"), "x")
+    assert isinstance(fo, FOExists)
+
+
+def test_fo_agrees_with_direct_semantics_on_examples():
+    cases = [
+        ("a U b", [{"a"}, {"b"}]),
+        ("G a", [{"a"}, {"a"}, {"a"}]),
+        ("G a", [{"a"}, set()]),
+        ("F (a & X b)", [set(), {"a"}, {"b"}]),
+        ("X X a", [set(), set(), {"a"}]),
+        ("!a & F a", [set(), {"a"}]),
+    ]
+    for text, trace in cases:
+        formula = parse_formula(text)
+        assert fo_holds(formula, trace) == holds(formula, trace), text
+
+
+def test_evaluate_fo_with_explicit_assignment():
+    fo = to_first_order(Atom("a"), "x")
+    trace = [set(), {"a"}]
+    assert not evaluate_fo(fo, trace, {"x": 0})
+    assert evaluate_fo(fo, trace, {"x": 1})

@@ -1,0 +1,134 @@
+"""P4 IR tests: table match semantics, entry priority, tree walking."""
+
+import pytest
+
+from repro.p4 import ir
+
+
+def make_table(kinds):
+    return ir.Table(
+        name="t",
+        keys=[ir.TableKey(f"meta.k{i}", kind) for i, kind in enumerate(kinds)],
+        actions=["a"],
+    )
+
+
+def test_exact_match():
+    table = make_table([ir.MatchKind.EXACT])
+    entry = ir.TableEntry(match=[5], action="a")
+    assert entry.matches(table, [5])
+    assert not entry.matches(table, [6])
+
+
+def test_ternary_match():
+    table = make_table([ir.MatchKind.TERNARY])
+    entry = ir.TableEntry(match=[(0x10, 0xF0)], action="a")
+    assert entry.matches(table, [0x1F])
+    assert entry.matches(table, [0x10])
+    assert not entry.matches(table, [0x20])
+
+
+def test_ternary_zero_mask_is_wildcard():
+    table = make_table([ir.MatchKind.TERNARY])
+    entry = ir.TableEntry(match=[(0, 0)], action="a")
+    assert entry.matches(table, [12345])
+
+
+def test_lpm_match():
+    table = make_table([ir.MatchKind.LPM])
+    prefix = (10 << 24) | (1 << 8)
+    entry = ir.TableEntry(match=[(prefix, 24)], action="a")
+    assert entry.matches(table, [prefix | 7])
+    assert not entry.matches(table, [(10 << 24) | (2 << 8) | 7])
+
+
+def test_lpm_zero_length_matches_everything():
+    table = make_table([ir.MatchKind.LPM])
+    entry = ir.TableEntry(match=[(0, 0)], action="a")
+    assert entry.matches(table, [0xFFFFFFFF])
+
+
+def test_range_match_inclusive():
+    table = make_table([ir.MatchKind.RANGE])
+    entry = ir.TableEntry(match=[(81, 82)], action="a")
+    assert entry.matches(table, [81])
+    assert entry.matches(table, [82])
+    assert not entry.matches(table, [80])
+    assert not entry.matches(table, [83])
+
+
+def test_multi_key_match_requires_all():
+    table = make_table([ir.MatchKind.EXACT, ir.MatchKind.RANGE])
+    entry = ir.TableEntry(match=[7, (10, 20)], action="a")
+    assert entry.matches(table, [7, 15])
+    assert not entry.matches(table, [8, 15])
+    assert not entry.matches(table, [7, 25])
+
+
+def test_duplicate_table_and_action_rejected():
+    program = ir.P4Program(name="p")
+    program.add_table(make_table([ir.MatchKind.EXACT]))
+    with pytest.raises(ValueError):
+        program.add_table(make_table([ir.MatchKind.EXACT]))
+    program.add_action(ir.Action("a"))
+    with pytest.raises(ValueError):
+        program.add_action(ir.Action("a"))
+
+
+def test_walk_stmts_recurses_into_branches():
+    inner = ir.MarkToDrop()
+    other = ir.SetValid("ipv4")
+    stmts = [ir.IfStmt(ir.Const(1, 1), [inner], [other])]
+    found = list(ir.walk_stmts(stmts))
+    assert inner in found and other in found
+
+
+def test_walk_stmts_covers_apply_bodies():
+    inner = ir.MarkToDrop()
+    stmts = [ir.ApplyTable("t", hit_body=[inner])]
+    assert inner in list(ir.walk_stmts(stmts))
+
+
+def test_walk_exprs():
+    expr = ir.BinExpr("&&",
+                      ir.UnExpr("!", ir.FieldRef("meta.a")),
+                      ir.ValidRef("ipv4"))
+    nodes = list(ir.walk_exprs(expr))
+    assert any(isinstance(n, ir.FieldRef) for n in nodes)
+    assert any(isinstance(n, ir.ValidRef) for n in nodes)
+    assert len(nodes) == 4
+
+
+def test_bind_types_expands_stacks():
+    from repro.net.packet import SOURCE_ROUTE, ETHERNET
+
+    program = ir.P4Program(name="p")
+    program.parser = ir.ParserSpec(states=[
+        ir.ParserState(
+            name="start",
+            extracts=[ir.Extract("ethernet", ETHERNET),
+                      ir.ExtractStack("srcRoute", SOURCE_ROUTE, "bos",
+                                      max_depth=4)],
+            transitions=[ir.Transition(ir.ACCEPT)],
+        ),
+    ])
+    binds = program.bind_types()
+    assert "ethernet" in binds
+    assert {f"srcRoute{i}" for i in range(4)} <= set(binds)
+
+
+def test_header_types_deduplicated():
+    from repro.net.packet import IPV4, ETHERNET
+
+    program = ir.P4Program(name="p")
+    program.parser = ir.ParserSpec(states=[
+        ir.ParserState(
+            name="start",
+            extracts=[ir.Extract("ethernet", ETHERNET),
+                      ir.Extract("ipv4", IPV4),
+                      ir.Extract("inner_ipv4", IPV4)],
+            transitions=[ir.Transition(ir.ACCEPT)],
+        ),
+    ])
+    names = [t.name for t in program.header_types()]
+    assert names.count("ipv4") == 1

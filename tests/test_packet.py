@@ -1,0 +1,148 @@
+"""Packet and header codec tests."""
+
+import copy
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.packet import (ETH_TYPE_IPV4, ETH_TYPE_SRCROUTE, ETHERNET,
+                              GTPU, Header, HeaderType, IPV4, Packet,
+                              SOURCE_ROUTE, UDP, format_ip, ip,
+                              make_gtpu_encapsulated, make_source_routed,
+                              make_tcp, make_udp)
+
+
+def test_header_type_widths():
+    assert ETHERNET.width_bits == 112
+    assert ETHERNET.width_bytes == 14
+    assert IPV4.width_bits == 160
+    assert UDP.width_bits == 64
+    assert GTPU.width_bytes == 8
+    assert SOURCE_ROUTE.width_bits == 16
+
+
+def test_duplicate_field_names_rejected():
+    with pytest.raises(ValueError):
+        HeaderType("bad", [("x", 8), ("x", 8)])
+
+
+def test_field_values_masked_to_width():
+    header = IPV4(ttl=300)
+    assert header.ttl == 300 & 0xFF
+
+
+def test_header_attribute_access():
+    header = UDP(src_port=1234)
+    assert header.src_port == 1234
+    header.dst_port = 80
+    assert header.get("dst_port") == 80
+
+
+def test_unknown_attribute_raises():
+    header = UDP()
+    with pytest.raises(AttributeError):
+        _ = header.nonexistent
+    with pytest.raises(KeyError):
+        header.set("nonexistent", 1)
+
+
+def test_header_bits_roundtrip():
+    header = IPV4(version=4, ihl=5, ttl=64, protocol=17,
+                  src_addr=ip(10, 0, 0, 1), dst_addr=ip(10, 0, 0, 2))
+    bits, width = header.to_bits()
+    assert width == IPV4.width_bits
+    restored = Header.from_bits(IPV4, bits)
+    assert restored.values == header.values
+
+
+@given(st.integers(min_value=0, max_value=2**48 - 1),
+       st.integers(min_value=0, max_value=2**16 - 1))
+def test_ethernet_bits_roundtrip(mac, ethertype):
+    header = ETHERNET(dst_addr=mac, src_addr=mac ^ 0xFFFF,
+                      eth_type=ethertype)
+    bits, width = header.to_bits()
+    assert Header.from_bits(ETHERNET, bits).values == header.values
+
+
+def test_header_type_identity_survives_deepcopy():
+    assert copy.deepcopy(ETHERNET) is ETHERNET
+    assert copy.copy(IPV4) is IPV4
+
+
+def test_packet_length_counts_valid_headers_and_payload():
+    packet = make_udp(ip(10, 0, 0, 1), ip(10, 0, 0, 2), 1, 2,
+                      payload_len=100)
+    assert packet.length == 14 + 20 + 8 + 100
+    packet.headers[2].valid = False
+    assert packet.length == 14 + 20 + 100
+
+
+def test_packet_find_and_nth():
+    inner = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    packet = make_gtpu_encapsulated(ip(9, 9, 9, 9), ip(8, 8, 8, 8), 55, inner)
+    assert packet.find("ipv4").dst_addr == ip(8, 8, 8, 8)        # outer
+    assert packet.find("ipv4", nth=1).dst_addr == ip(2, 2, 2, 2)  # inner
+    assert len(packet.find_all("udp")) == 2
+
+
+def test_packet_insert_and_remove():
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    extra = SOURCE_ROUTE(bos=1, port=3)
+    packet.insert_after("ethernet", extra)
+    assert packet.headers[1].name == "srcRoute"
+    removed = packet.remove("srcRoute")
+    assert removed is extra
+    assert packet.remove("srcRoute") is None
+
+
+def test_packet_copy_is_deep_for_headers():
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    clone = packet.copy()
+    clone.find("ipv4").ttl = 1
+    assert packet.find("ipv4").ttl == 64
+    assert clone.packet_id == packet.packet_id
+
+
+def test_make_source_routed_stack_order():
+    inner = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    packet = make_source_routed([3, 2, 1], inner)
+    assert packet.find("ethernet").eth_type == ETH_TYPE_SRCROUTE
+    entries = packet.find_all("srcRoute")
+    assert [e.port for e in entries] == [3, 2, 1]
+    assert [e.bos for e in entries] == [0, 0, 1]
+
+
+def test_make_source_routed_requires_hops():
+    inner = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    with pytest.raises(ValueError):
+        make_source_routed([], inner)
+
+
+def test_gtpu_encapsulation_structure():
+    inner = make_udp(ip(172, 16, 0, 1), ip(10, 0, 1, 2), 1000, 81,
+                     payload_len=50)
+    packet = make_gtpu_encapsulated(ip(192, 168, 0, 1), ip(192, 168, 0, 2),
+                                    777, inner)
+    names = [h.name for h in packet.headers]
+    assert names == ["ethernet", "ipv4", "udp", "gtpu", "ipv4", "udp"]
+    assert packet.find("gtpu").teid == 777
+    assert packet.find("udp").dst_port == 2152
+    # Inner payload length preserved.
+    assert packet.payload_len == 50
+
+
+def test_make_tcp():
+    packet = make_tcp(ip(1, 2, 3, 4), ip(5, 6, 7, 8), 80, 443)
+    assert packet.find("tcp").src_port == 80
+    assert packet.find("ipv4").protocol == 6
+
+
+def test_ip_helpers():
+    assert ip(10, 0, 1, 2) == (10 << 24) | (1 << 8) | 2
+    assert format_ip(ip(10, 0, 1, 2)) == "10.0.1.2"
+
+
+def test_packet_ids_are_unique():
+    a = make_udp(1, 2, 3, 4)
+    b = make_udp(1, 2, 3, 4)
+    assert a.packet_id != b.packet_id

@@ -1,0 +1,101 @@
+"""Per-hop checking (Section 4.3, implemented as the paper's proposed
+extension): the checker block runs at every hop and violating packets
+are dropped inside the network core instead of at the edge."""
+
+import pytest
+
+from repro.compiler import compile_program, link
+from repro.compiler.linker import LAST_HOP, PER_HOP
+from repro.indus.errors import CompileError
+from repro.net.packet import ip, make_udp
+from repro.p4.bmv2 import Bmv2Switch
+from repro.p4.programs import l2_port_forwarding
+from repro.runtime.scenarios import SourceRoutingTestbed
+
+LOOPS = (
+    "tele bit<32>[8] path;\ntele bool dup = false;\n"
+    "{ }\n"
+    "{ if (switch_id in path) { dup = true; } path.push(switch_id); }\n"
+    "{ if (dup) { reject; report; } }"
+)
+
+
+def test_unknown_check_mode_rejected():
+    compiled = compile_program(LOOPS)
+    with pytest.raises(CompileError):
+        link(l2_port_forwarding(), compiled, check_mode="sometimes")
+
+
+def test_core_switch_enforces_under_per_hop():
+    """A core switch (which never strips) drops a violating packet
+    immediately under per-hop checking but forwards it under last-hop
+    checking."""
+    compiled = compile_program(LOOPS, name="loops")
+
+    def run_chain(check_mode):
+        # first hop (edge) -> core that completes a loop.
+        packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+        edge = Bmv2Switch(link(l2_port_forwarding("e"), compiled,
+                               role="edge", check_mode=check_mode),
+                          name="edge", switch_id=1)
+        edge.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+        edge.insert_entry(compiled.inject_table, [1],
+                          compiled.mark_first_action)
+        edge.set_default_action(compiled.switch_id_table,
+                                compiled.set_switch_id_action, [1])
+        out = edge.process(packet, 1)
+        assert out
+        packet = out[0][1]
+        core = Bmv2Switch(link(l2_port_forwarding("c"), compiled,
+                               role="core", check_mode=check_mode),
+                          name="core", switch_id=1)  # same id -> loop!
+        core.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+        core.set_default_action(compiled.switch_id_table,
+                                compiled.set_switch_id_action, [1])
+        return core.process(packet, 1)
+
+    assert run_chain(LAST_HOP)            # core forwards; edge would drop
+    assert run_chain(PER_HOP) == []       # core drops on the spot
+
+
+def test_valley_free_per_hop_drops_at_second_spine():
+    """Under per-hop checking the errant packet dies at the offending
+    spine — it never reaches the destination leaf."""
+    testbed = SourceRoutingTestbed(check_mode=PER_HOP)
+    # Valid paths still work.
+    for path in testbed.valley_free_node_paths("h1", "h3"):
+        assert testbed.send("h1", "h3",
+                            testbed.route_for(path, "h3")).delivered
+    # A valley path is dropped...
+    spine1 = testbed.deployment.switches["spine1"]
+    dropped_before = spine1.bmv2.packets_dropped \
+        if hasattr(spine1, "bmv2") else spine1.packets_dropped
+    path = ["leaf1", "spine1", "leaf2", "spine1", "leaf2"]
+    assert not testbed.send("h1", "h3",
+                            testbed.route_for(path, "h3")).delivered
+    # ...at the spine itself (its drop counter moved).
+    dropped_after = spine1.packets_dropped
+    assert dropped_after == dropped_before + 1
+
+
+def test_per_hop_and_last_hop_agree_on_verdicts():
+    """For telemetry-only checkers the two modes accept/reject exactly
+    the same packets — only the drop location differs."""
+    for mode in (LAST_HOP, PER_HOP):
+        testbed = SourceRoutingTestbed(check_mode=mode)
+        good = testbed.valley_free_node_paths("h1", "h3")[0]
+        assert testbed.send("h1", "h3",
+                            testbed.route_for(good, "h3")).delivered
+        for bad in testbed.valley_node_paths("h1", "h3"):
+            assert not testbed.send(
+                "h1", "h3", testbed.route_for(bad, "h3")).delivered
+
+
+def test_per_hop_reports_fire_at_detecting_switch():
+    testbed = SourceRoutingTestbed(check_mode=PER_HOP, checker="loops")
+    path = ["leaf1", "spine1", "leaf1", "spine1", "leaf2"]
+    result = testbed.send("h1", "h3", testbed.route_for(path, "h3"))
+    assert not result.delivered
+    assert result.new_reports
+    # The loop closes at leaf1's second visit.
+    assert result.new_reports[0].switch_name == "leaf1"

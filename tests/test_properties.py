@@ -1,0 +1,409 @@
+"""Functional tests for the Table-1 property library: each checker is
+exercised with satisfying and violating traffic, mostly through the
+reference interpreter (the compiled path is covered by the differential
+and case-study tests)."""
+
+import pytest
+
+from repro.indus import HopContext, Monitor
+from repro.properties import (PROPERTIES, TABLE1_ORDER, compile_property,
+                              indus_loc, load_checked, load_monitor,
+                              load_source, property_names)
+
+
+def run_trace(monitor, contexts):
+    return monitor.run_path(contexts)
+
+
+# ---------------------------------------------------------------------------
+# Library plumbing
+# ---------------------------------------------------------------------------
+
+def test_catalog_contains_all_table1_rows():
+    assert len(TABLE1_ORDER) == 11
+    for name in TABLE1_ORDER:
+        assert PROPERTIES[name].in_table1
+
+
+def test_unknown_property_raises():
+    with pytest.raises(KeyError):
+        load_source("nonexistent")
+
+
+def test_all_properties_compile_to_p4():
+    for name in property_names():
+        compiled = compile_property(name)
+        assert compiled.hydra_header.width_bits >= 16
+
+
+def test_indus_loc_is_close_to_paper():
+    """Conciseness claim: our programs stay within 2x of the paper's
+    line counts and an order of magnitude under the generated P4."""
+    for name in TABLE1_ORDER:
+        info = PROPERTIES[name]
+        measured = indus_loc(name)
+        assert measured <= 2 * info.paper_indus_loc
+        assert measured >= info.paper_indus_loc // 3
+
+
+# ---------------------------------------------------------------------------
+# Multi-tenancy (Figure 1)
+# ---------------------------------------------------------------------------
+
+def tenancy_monitor():
+    monitor = load_monitor("multi_tenancy")
+    controls = monitor.new_controls()
+    controls.dict_put("tenants", 1, 10)
+    controls.dict_put("tenants", 2, 10)
+    controls.dict_put("tenants", 3, 20)
+    return monitor, controls
+
+
+def test_multi_tenancy_same_tenant_passes():
+    monitor, controls = tenancy_monitor()
+    state = run_trace(monitor, [
+        HopContext(headers={"in_port": 1, "eg_port": 0}, controls=controls,
+                   first_hop=True),
+        HopContext(headers={"in_port": 0, "eg_port": 2}, controls=controls,
+                   last_hop=True),
+    ])
+    assert not state.rejected
+
+
+def test_multi_tenancy_cross_tenant_rejected():
+    monitor, controls = tenancy_monitor()
+    state = run_trace(monitor, [
+        HopContext(headers={"in_port": 1, "eg_port": 0}, controls=controls,
+                   first_hop=True),
+        HopContext(headers={"in_port": 0, "eg_port": 3}, controls=controls,
+                   last_hop=True),
+    ])
+    assert state.rejected
+
+
+# ---------------------------------------------------------------------------
+# Load balance (streamlined + literal Figure 2)
+# ---------------------------------------------------------------------------
+
+def load_balance_setup(name):
+    monitor = load_monitor(name)
+    controls = monitor.new_controls()
+    controls.set_value("left_port", 1)
+    controls.set_value("right_port", 2)
+    controls.set_value("thresh", 100)
+    controls.dict_put("is_uplink", 1, True)
+    controls.dict_put("is_uplink", 2, True)
+    return monitor, controls, monitor.new_sensors()
+
+
+@pytest.mark.parametrize("name", ["load_balance", "load_balance_arrays"])
+def test_load_balance_reports_imbalance(name):
+    monitor, controls, sensors = load_balance_setup(name)
+    ctx = HopContext(headers={"eg_port": 1}, controls=controls,
+                     sensors=sensors, first_hop=True, last_hop=True,
+                     packet_length=500)
+    state = run_trace(monitor, [ctx])
+    assert len(state.reports) >= 1  # 500 vs 0 exceeds thresh 100
+
+
+@pytest.mark.parametrize("name", ["load_balance", "load_balance_arrays"])
+def test_load_balance_balanced_is_quiet(name):
+    monitor, controls, sensors = load_balance_setup(name)
+    for port in (1, 2):
+        ctx = HopContext(headers={"eg_port": port}, controls=controls,
+                         sensors=sensors, first_hop=True, last_hop=True,
+                         packet_length=50)
+        state = run_trace(monitor, [ctx])
+    assert not state.reports  # |50 - 50| = 0
+
+
+def test_load_balance_ignores_non_uplink_ports():
+    monitor, controls, sensors = load_balance_setup("load_balance")
+    ctx = HopContext(headers={"eg_port": 9}, controls=controls,
+                     sensors=sensors, first_hop=True, last_hop=True,
+                     packet_length=5000)
+    state = run_trace(monitor, [ctx])
+    assert not state.reports
+
+
+# ---------------------------------------------------------------------------
+# Stateful firewall (Figure 3)
+# ---------------------------------------------------------------------------
+
+def firewall_monitor():
+    monitor = load_monitor("stateful_firewall")
+    controls = monitor.new_controls()
+    controls.dict_put("allowed", (100, 200), True)
+    return monitor, controls
+
+
+def test_firewall_allowed_flow_passes():
+    monitor, controls = firewall_monitor()
+    headers = {"ipv4_src": 100, "ipv4_dst": 200}
+    state = run_trace(monitor, [HopContext(headers=headers, controls=controls,
+                                           first_hop=True, last_hop=True)])
+    assert not state.rejected
+
+
+def test_firewall_unknown_flow_rejected_and_reported():
+    monitor, controls = firewall_monitor()
+    headers = {"ipv4_src": 300, "ipv4_dst": 400}
+    state = run_trace(monitor, [HopContext(headers=headers, controls=controls,
+                                           first_hop=True, last_hop=True)])
+    assert state.rejected
+    assert state.reports[0].payload == (400, 300)
+
+
+def test_firewall_reverse_report_enables_return_traffic():
+    monitor, controls = firewall_monitor()
+    # Forward direction missing the reverse entry: report names it.
+    headers = {"ipv4_src": 100, "ipv4_dst": 200}
+    state = run_trace(monitor, [HopContext(headers=headers, controls=controls,
+                                           first_hop=True, last_hop=True)])
+    reverse = state.reports[0].payload
+    controls.dict_put("allowed", reverse, True)
+    # Return traffic is now admitted.
+    back = {"ipv4_src": 200, "ipv4_dst": 100}
+    state = run_trace(monitor, [HopContext(headers=back, controls=controls,
+                                           first_hop=True, last_hop=True)])
+    assert not state.rejected
+
+
+# ---------------------------------------------------------------------------
+# VLAN isolation
+# ---------------------------------------------------------------------------
+
+def vlan_monitor():
+    monitor = load_monitor("vlan_isolation")
+    controls = monitor.new_controls()
+    controls.dict_put("vlan_configured", 10, True)
+    return monitor, controls
+
+
+def test_vlan_consistent_path_passes():
+    monitor, controls = vlan_monitor()
+    contexts = [HopContext(headers={"vlan_id": 10}, controls=controls,
+                           first_hop=(i == 0), last_hop=(i == 2))
+                for i in range(3)]
+    assert not run_trace(monitor, contexts).rejected
+
+
+def test_vlan_change_mid_path_rejected():
+    monitor, controls = vlan_monitor()
+    controls.dict_put("vlan_configured", 20, True)
+    contexts = [
+        HopContext(headers={"vlan_id": 10}, controls=controls,
+                   first_hop=True),
+        HopContext(headers={"vlan_id": 20}, controls=controls,
+                   last_hop=True),
+    ]
+    state = run_trace(monitor, contexts)
+    assert state.rejected
+    assert state.reports[0].payload == (10, 20)
+
+
+def test_vlan_unprovisioned_switch_rejected():
+    monitor, controls = vlan_monitor()
+    # Second switch has no entry for VLAN 10 in its control store.
+    bare = monitor.new_controls()
+    contexts = [
+        HopContext(headers={"vlan_id": 10}, controls=controls,
+                   first_hop=True),
+        HopContext(headers={"vlan_id": 10}, controls=bare, last_hop=True),
+    ]
+    assert run_trace(monitor, contexts).rejected
+
+
+# ---------------------------------------------------------------------------
+# Egress port validity
+# ---------------------------------------------------------------------------
+
+def test_egress_port_validity():
+    monitor = load_monitor("egress_port_validity")
+    controls = monitor.new_controls()
+    controls.set_add("allowed_ports", 1)
+    controls.set_add("allowed_ports", 2)
+    good = HopContext(headers={"eg_port": 2}, controls=controls,
+                      first_hop=True, last_hop=True)
+    assert not run_trace(monitor, [good]).rejected
+    bad = HopContext(headers={"eg_port": 7}, controls=controls,
+                     first_hop=True, last_hop=True)
+    state = run_trace(monitor, [bad])
+    assert state.rejected and state.reports
+
+
+# ---------------------------------------------------------------------------
+# Routing validity
+# ---------------------------------------------------------------------------
+
+def routing_contexts(monitor, roles):
+    """roles: list of (is_leaf, is_spine) per hop."""
+    contexts = []
+    for i, (leaf, spine) in enumerate(roles):
+        controls = monitor.new_controls()
+        controls.set_value("is_leaf", leaf)
+        controls.set_value("is_spine", spine)
+        contexts.append(HopContext(controls=controls, first_hop=(i == 0),
+                                   last_hop=(i == len(roles) - 1)))
+    return contexts
+
+
+def test_routing_validity_leaf_spine_leaf_passes():
+    monitor = load_monitor("routing_validity")
+    contexts = routing_contexts(
+        monitor, [(True, False), (False, True), (True, False)])
+    assert not run_trace(monitor, contexts).rejected
+
+
+def test_routing_validity_interior_leaf_rejected():
+    monitor = load_monitor("routing_validity")
+    contexts = routing_contexts(
+        monitor, [(True, False), (True, False), (True, False)])
+    assert run_trace(monitor, contexts).rejected
+
+
+def test_routing_validity_spine_first_hop_rejected():
+    monitor = load_monitor("routing_validity")
+    contexts = routing_contexts(monitor, [(False, True), (True, False)])
+    assert run_trace(monitor, contexts).rejected
+
+
+# ---------------------------------------------------------------------------
+# Loops
+# ---------------------------------------------------------------------------
+
+def test_loops_simple_path_passes():
+    monitor = load_monitor("loops")
+    contexts = [HopContext(first_hop=(i == 0), last_hop=(i == 2),
+                           switch_id=sid)
+                for i, sid in enumerate([1, 2, 3])]
+    assert not run_trace(monitor, contexts).rejected
+
+
+def test_loops_revisit_rejected():
+    monitor = load_monitor("loops")
+    path = [1, 2, 1, 3]
+    contexts = [HopContext(first_hop=(i == 0),
+                           last_hop=(i == len(path) - 1), switch_id=sid)
+                for i, sid in enumerate(path)]
+    state = run_trace(monitor, contexts)
+    assert state.rejected and state.reports
+
+
+# ---------------------------------------------------------------------------
+# Waypointing
+# ---------------------------------------------------------------------------
+
+def waypoint_contexts(monitor, flags):
+    contexts = []
+    for i, is_waypoint in enumerate(flags):
+        controls = monitor.new_controls()
+        controls.set_value("is_waypoint", is_waypoint)
+        contexts.append(HopContext(controls=controls, first_hop=(i == 0),
+                                   last_hop=(i == len(flags) - 1)))
+    return contexts
+
+
+def test_waypointing_pass_through_waypoint():
+    monitor = load_monitor("waypointing")
+    assert not run_trace(
+        monitor, waypoint_contexts(monitor, [False, True, False])).rejected
+
+
+def test_waypointing_bypass_rejected():
+    monitor = load_monitor("waypointing")
+    state = run_trace(monitor,
+                      waypoint_contexts(monitor, [False, False, False]))
+    assert state.rejected and state.reports
+
+
+# ---------------------------------------------------------------------------
+# Service chains
+# ---------------------------------------------------------------------------
+
+def chain_contexts(monitor, positions, chain_len):
+    contexts = []
+    for i, pos in enumerate(positions):
+        controls = monitor.new_controls()
+        controls.set_value("chain_pos", pos)
+        controls.set_value("chain_len", chain_len)
+        contexts.append(HopContext(controls=controls, first_hop=(i == 0),
+                                   last_hop=(i == len(positions) - 1)))
+    return contexts
+
+
+def test_service_chain_in_order_passes():
+    monitor = load_monitor("service_chain")
+    contexts = chain_contexts(monitor, [0, 1, 2, 0], chain_len=2)
+    assert not run_trace(monitor, contexts).rejected
+
+
+def test_service_chain_out_of_order_rejected():
+    monitor = load_monitor("service_chain")
+    contexts = chain_contexts(monitor, [0, 2, 1, 0], chain_len=2)
+    assert run_trace(monitor, contexts).rejected
+
+
+def test_service_chain_skipped_waypoint_rejected():
+    monitor = load_monitor("service_chain")
+    contexts = chain_contexts(monitor, [0, 1, 0], chain_len=2)
+    assert run_trace(monitor, contexts).rejected
+
+
+# ---------------------------------------------------------------------------
+# Source routing with path validation
+# ---------------------------------------------------------------------------
+
+def path_validation_contexts(monitor, controls, path):
+    return [HopContext(controls=controls, first_hop=(i == 0),
+                       last_hop=(i == len(path) - 1), switch_id=sid)
+            for i, sid in enumerate(path)]
+
+
+def test_path_validation_allowed_edges_pass():
+    monitor = load_monitor("source_routing_validation")
+    controls = monitor.new_controls()
+    for a, b in ((1, 2), (2, 3)):
+        controls.dict_put("allowed_edge", (a, b), True)
+    state = run_trace(monitor, path_validation_contexts(
+        monitor, controls, [1, 2, 3]))
+    assert not state.rejected
+    assert state.tele["visited"].valid_items() == [1, 2, 3]
+
+
+def test_path_validation_forbidden_edge_rejected():
+    monitor = load_monitor("source_routing_validation")
+    controls = monitor.new_controls()
+    controls.dict_put("allowed_edge", (1, 2), True)
+    state = run_trace(monitor, path_validation_contexts(
+        monitor, controls, [1, 2, 9]))
+    assert state.rejected
+    assert state.reports
+
+
+# ---------------------------------------------------------------------------
+# Valley-free (Figure 7)
+# ---------------------------------------------------------------------------
+
+def valley_contexts(monitor, spine_flags):
+    contexts = []
+    for i, is_spine in enumerate(spine_flags):
+        controls = monitor.new_controls()
+        controls.set_value("is_spine_switch", is_spine)
+        contexts.append(HopContext(controls=controls, first_hop=(i == 0),
+                                   last_hop=(i == len(spine_flags) - 1)))
+    return contexts
+
+
+def test_valley_free_single_spine_passes():
+    monitor = load_monitor("valley_free")
+    assert not run_trace(
+        monitor, valley_contexts(monitor, [False, True, False])).rejected
+
+
+def test_valley_free_double_spine_rejected():
+    monitor = load_monitor("valley_free")
+    assert run_trace(
+        monitor,
+        valley_contexts(monitor, [False, True, False, True, False])
+    ).rejected

@@ -1,0 +1,150 @@
+"""Algebraic/property-based tests of the Indus semantics: identities
+that must hold for all inputs, run through the reference interpreter."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.indus import HopContext, Monitor
+
+WIDTH = 16
+MASK = (1 << WIDTH) - 1
+
+values = st.integers(min_value=0, max_value=MASK)
+
+
+def eval_program(body, **headers):
+    """Run a one-shot program computing tele bit<16> r; returns r."""
+    source = (
+        f"tele bit<{WIDTH}> r = 0;\n"
+        f"header bit<{WIDTH}> a;\nheader bit<{WIDTH}> b;\n"
+        f"header bit<{WIDTH}> c;\n"
+        "{ " + body + " } { } { }"
+    )
+    monitor = Monitor.from_source(source)
+    ctx = HopContext(headers={"a": headers.get("a", 0),
+                              "b": headers.get("b", 0),
+                              "c": headers.get("c", 0)},
+                     first_hop=True, last_hop=True)
+    return monitor.run_path([ctx]).tele["r"]
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_addition_commutes(a, b):
+    assert eval_program("r = a + b;", a=a, b=b) == \
+        eval_program("r = a + b;", a=b, b=a) == (a + b) & MASK
+
+
+@given(a=values, b=values, c=values)
+@settings(max_examples=60, deadline=None)
+def test_addition_associates(a, b, c):
+    left = eval_program("r = (a + b) + c;", a=a, b=b, c=c)
+    right = eval_program("r = a + (b + c);", a=a, b=b, c=c)
+    assert left == right
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_subtraction_inverts_addition(a, b):
+    assert eval_program("r = a + b - b;", a=a, b=b) == a
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_abs_is_symmetric(a, b):
+    assert eval_program("r = abs(a - b);", a=a, b=b) == \
+        eval_program("r = abs(a - b);", a=b, b=a)
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_abs_bounds(a, b):
+    result = eval_program("r = abs(a - b);", a=a, b=b)
+    true_diff = abs(a - b)
+    # abs over two's complement recovers |a-b| or its modular mirror.
+    assert result in (true_diff, (1 << WIDTH) - true_diff)
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_de_morgan_on_bits(a, b):
+    left = eval_program("r = ~(a & b);", a=a, b=b)
+    right = eval_program("r = ~a | ~b;", a=a, b=b)
+    assert left == right
+
+
+@given(a=values)
+@settings(max_examples=60, deadline=None)
+def test_xor_self_is_zero(a):
+    assert eval_program("r = a ^ a;", a=a) == 0
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_min_max_partition(a, b):
+    lo = eval_program("r = min(a, b);", a=a, b=b)
+    hi = eval_program("r = max(a, b);", a=a, b=b)
+    assert {lo, hi} == {min(a, b), max(a, b)}
+    assert (lo + hi) & MASK == (a + b) & MASK
+
+
+@given(a=values, b=values)
+@settings(max_examples=60, deadline=None)
+def test_division_bounds(a, b):
+    result = eval_program("r = a / b;", a=a, b=b)
+    assert result == (a // b if b else 0)
+    # quotient never exceeds dividend (unsigned).
+    assert result <= a
+
+
+@given(items=st.lists(values, max_size=6))
+@settings(max_examples=60, deadline=None)
+def test_array_push_length_membership_coherence(items):
+    """For any push sequence: length == min(n, capacity), every pushed
+    value within capacity is a member, iteration visits the pushed
+    prefix in order."""
+    capacity = 4
+    source = (
+        f"tele bit<{WIDTH}>[{capacity}] xs;\n"
+        f"tele bit<32> n = 0;\n"
+        f"tele bit<{WIDTH}> total = 0;\n"
+        f"header bit<{WIDTH}> a;\n"
+        "{ }\n"
+        "{ xs.push(a); }\n"
+        "{ n = length(xs);\n"
+        "  for (v in xs) { total = total + v; } }"
+    )
+    monitor = Monitor.from_source(source)
+    state = monitor.new_state()
+    for i, item in enumerate(items):
+        ctx = HopContext(headers={"a": item}, first_hop=(i == 0),
+                         last_hop=(i == len(items) - 1))
+        monitor.run_hop(state, ctx)
+    if not items:
+        return
+    expected_prefix = items[:capacity]
+    assert state.tele["n"] == len(expected_prefix)
+    assert state.tele["total"] == sum(expected_prefix) & MASK
+    assert state.tele["xs"].valid_items() == expected_prefix
+
+
+@given(key=values, value=values)
+@settings(max_examples=40, deadline=None)
+def test_dict_put_get_roundtrip(key, value):
+    source = (
+        f"control dict<bit<{WIDTH}>, bit<{WIDTH}>> d;\n"
+        f"tele bit<{WIDTH}> r = 0;\n"
+        f"header bit<{WIDTH}> a;\n"
+        "{ r = d[a]; } { } { }"
+    )
+    monitor = Monitor.from_source(source)
+    controls = monitor.new_controls()
+    controls.dict_put("d", key, value)
+    ctx = HopContext(headers={"a": key}, controls=controls,
+                     first_hop=True, last_hop=True)
+    assert monitor.run_path([ctx]).tele["r"] == value
+    # A different key misses to zero.
+    other = (key + 1) & MASK
+    ctx = HopContext(headers={"a": other}, controls=controls,
+                     first_hop=True, last_hop=True)
+    assert monitor.run_path([ctx]).tele["r"] == \
+        (value if other == key else 0)

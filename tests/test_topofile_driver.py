@@ -1,0 +1,135 @@
+"""Topology file format + compiler driver (per-switch codegen) tests."""
+
+import json
+import os
+
+import pytest
+
+from repro.compiler import compile_program
+from repro.compiler.driver import (deployment_manifest, forwarding_factory,
+                                   generate_switch_programs,
+                                   write_deployment)
+from repro.net.packet import format_ip, ip
+from repro.net.topofile import (TopologyFormatError, load_topology,
+                                save_topology, topology_from_dict,
+                                topology_to_dict)
+from repro.net.topology import EDGE, leaf_spine
+
+
+# ---------------------------------------------------------------------------
+# Topology files
+# ---------------------------------------------------------------------------
+
+def test_roundtrip_leaf_spine(tmp_path):
+    topo = leaf_spine(2, 2, 2)
+    path = tmp_path / "topo.json"
+    save_topology(topo, str(path))
+    loaded = load_topology(str(path))
+    assert set(loaded.switches) == set(topo.switches)
+    assert set(loaded.hosts) == set(topo.hosts)
+    assert len(loaded.links) == len(topo.links)
+    for name in topo.switches:
+        assert loaded.switches[name].role == topo.switches[name].role
+        assert sorted(loaded.switches[name].edge_ports) == \
+            sorted(topo.switches[name].edge_ports)
+    for name in topo.hosts:
+        assert loaded.hosts[name].ipv4 == topo.hosts[name].ipv4
+
+
+def test_dotted_quad_addresses():
+    topo = topology_from_dict({
+        "switches": [{"name": "s1", "role": "edge"}],
+        "hosts": [{"name": "h1", "ipv4": "10.0.1.1"}],
+        "links": [{"a": ["s1", 1], "b": ["h1", 0]}],
+    })
+    assert topo.hosts["h1"].ipv4 == ip(10, 0, 1, 1)
+    assert format_ip(topo.hosts["h1"].ipv4) == "10.0.1.1"
+
+
+def test_link_attributes_parsed():
+    topo = topology_from_dict({
+        "switches": [{"name": "s1", "role": "edge"}],
+        "hosts": [{"name": "h1"}],
+        "links": [{"a": ["s1", 1], "b": ["h1", 0],
+                   "latency_us": 5, "bandwidth_gbps": 40}],
+    })
+    link = topo.links[0]
+    assert link.latency_s == pytest.approx(5e-6)
+    assert link.bandwidth_bps == pytest.approx(40e9)
+
+
+@pytest.mark.parametrize("document, fragment", [
+    ([], "object"),
+    ({"switches": [{"role": "edge"}]}, "name"),
+    ({"switches": [{"name": "s1", "role": "purple"}]}, "role"),
+    ({"hosts": [{"name": "h1", "ipv4": "10.0.1"}]}, "IPv4"),
+    ({"hosts": [{"name": "h1", "ipv4": "10.0.1.999"}]}, "IPv4"),
+    ({"switches": [{"name": "s1"}], "links": [{"a": ["s1", 1]}]}, "link"),
+])
+def test_malformed_documents_rejected(document, fragment):
+    with pytest.raises(TopologyFormatError) as excinfo:
+        topology_from_dict(document)
+    assert fragment.lower() in str(excinfo.value).lower()
+
+
+def test_invalid_json_file(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(TopologyFormatError):
+        load_topology(str(path))
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def test_generate_switch_programs_respects_roles():
+    topo = leaf_spine(2, 2, 2)
+    compiled = compile_program("{ } { } { reject; }", name="t")
+    programs = generate_switch_programs(compiled, topo, "l2")
+    assert set(programs) == set(topo.switches)
+    # Edge programs contain the reject enforcement; core programs don't.
+    assert compiled.reject_meta in repr(programs["leaf1"].egress)
+    assert compiled.reject_meta not in repr(programs["spine1"].egress)
+
+
+def test_unknown_forwarding_profile():
+    with pytest.raises(ValueError):
+        forwarding_factory("quantum")
+
+
+def test_all_profiles_resolve_and_link():
+    topo = leaf_spine(2, 2, 2)
+    compiled = compile_program("tele bit<8> x;\n{ } { } { }", name="t")
+    for profile in ("l2", "ipv4", "srcroute", "fabric", "vlan", "upf"):
+        programs = generate_switch_programs(compiled, topo, profile)
+        assert len(programs) == 4
+
+
+def test_write_deployment(tmp_path):
+    topo = leaf_spine(2, 2, 2)
+    compiled = compile_program("tele bit<8> x;\n{ } { } { }", name="demo")
+    written = write_deployment(compiled, topo, str(tmp_path),
+                               forwarding="srcroute")
+    for name in topo.switches:
+        path = written[name]
+        assert os.path.exists(path)
+        text = open(path).read()
+        assert "hydra_t" in text  # telemetry header present
+    manifest = json.load(open(written["__manifest__"]))
+    assert manifest["checker"] == "demo"
+    assert manifest["edge_entries"]["leaf1"]["ports"] == [1, 2]
+    assert "spine1" not in manifest["edge_entries"]
+
+
+def test_manifest_report_sites():
+    topo = leaf_spine(2, 2, 2)
+    compiled = compile_program(
+        "header bit<16> dport @ udp.dst_port;\n"
+        "{ } { } { report((dport, dport)); }", name="r")
+    manifest = deployment_manifest(compiled, topo)
+    sites = manifest["report_sites"]
+    assert len(sites) == 1
+    (site,) = sites.values()
+    assert site["block"] == "checker"
+    assert site["payload_widths"] == [16, 16]

@@ -1,0 +1,271 @@
+"""Type checker unit tests: typing rules plus the language restrictions
+of Section 3.1 (read-only network state, static allocation, edge-only
+rejection)."""
+
+import pytest
+
+from repro.indus import check, parse
+from repro.indus.errors import IndusTypeError
+from repro.indus.types import BitType, BoolType
+
+
+def check_ok(source):
+    return check(parse(source))
+
+
+def check_fails(source, fragment=""):
+    with pytest.raises(IndusTypeError) as excinfo:
+        check(parse(source))
+    if fragment:
+        assert fragment in str(excinfo.value)
+    return excinfo.value
+
+
+# ---------------------------------------------------------------------------
+# Declarations
+# ---------------------------------------------------------------------------
+
+def test_duplicate_declaration_rejected():
+    check_fails("tele bit<8> x;\ntele bit<8> x;\n{ } { } { }", "duplicate")
+
+
+def test_builtin_shadowing_rejected():
+    check_fails("tele bool last_hop;\n{ } { } { }", "builtin")
+
+
+def test_tele_dict_rejected():
+    check_fails("tele dict<bit<8>,bit<8>> d;\n{ } { } { }",
+                "cannot travel")
+
+
+def test_header_must_be_scalar():
+    check_fails("header bit<8>[4] h;\n{ } { } { }", "scalar")
+
+
+def test_header_initializer_rejected():
+    check_fails("header bit<8> h = 3;\n{ } { } { }", "read-only")
+
+
+def test_control_initializer_rejected():
+    check_fails("control bit<8> c = 3;\n{ } { } { }", "control plane")
+
+
+def test_sensor_must_map_to_registers():
+    check_fails("sensor dict<bit<8>,bit<8>> s;\n{ } { } { }", "register")
+
+
+def test_sensor_array_of_scalars_allowed():
+    check_ok("sensor bit<16>[4] s;\n{ } { } { }")
+
+
+def test_initializer_type_mismatch():
+    check_fails("tele bool b = 3;\n{ } { } { }")
+
+
+def test_initializer_literal_must_fit():
+    check_fails("tele bit<4> x = 200;\n{ } { } { }", "fit")
+
+
+# ---------------------------------------------------------------------------
+# Read-only enforcement (non-interference)
+# ---------------------------------------------------------------------------
+
+def test_header_write_rejected():
+    check_fails("header bit<8> h;\n{ h = 1; } { } { }", "read-only")
+
+
+def test_control_write_rejected():
+    check_fails("control bit<8> c;\n{ c = 1; } { } { }", "read-only")
+
+
+def test_control_dict_entry_write_rejected():
+    check_fails(
+        "control dict<bit<8>,bit<8>> d;\n{ d[1] = 2; } { } { }")
+
+
+def test_loop_variable_write_rejected():
+    check_fails(
+        "tele bit<8>[4] xs;\n{ } { for (v in xs) { v = 1; } } { }",
+        "read-only")
+
+
+def test_tele_and_sensor_writable():
+    check_ok("tele bit<8> t;\nsensor bit<8> s;\n"
+             "{ t = 1; s = 2; } { } { }")
+
+
+# ---------------------------------------------------------------------------
+# Block restrictions
+# ---------------------------------------------------------------------------
+
+def test_reject_only_in_checker_block():
+    check_fails("{ reject; } { } { }", "checker")
+    check_fails("{ } { reject; } { }", "checker")
+    check_ok("{ } { } { reject; }")
+
+
+def test_report_allowed_everywhere():
+    check_ok("{ report; } { report; } { report; }")
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+def test_undeclared_variable():
+    check_fails("{ } { } { if (mystery) { reject; } }", "undeclared")
+
+
+def test_builtins_resolve():
+    checked = check_ok(
+        "{ } { } { if (last_hop && first_hop) { reject; } }")
+    assert "last_hop" in checked.used_builtins
+    assert "first_hop" in checked.used_builtins
+
+
+def test_condition_must_be_bool():
+    check_fails("tele bit<8> x;\n{ } { } { if (x) { reject; } }", "bool")
+
+
+def test_logical_ops_require_bool():
+    check_fails("tele bit<8> x;\n{ if (x && x) { pass; } } { } { }")
+
+
+def test_arithmetic_requires_bits():
+    check_fails("tele bool b;\n{ b = b + b; } { } { }")
+
+
+def test_comparison_widths_can_differ():
+    check_ok("tele bit<8> a;\ntele bit<16> b;\n"
+             "{ if (a < b) { pass; } } { } { }")
+
+
+def test_literal_adopts_context_width():
+    checked = check_ok("tele bit<8> x;\n{ x = 42; } { } { }")
+    stmt = checked.program.init_block[0]
+    assert stmt.value.ty == BitType(8)
+
+
+def test_literal_too_wide_for_context():
+    check_fails("tele bit<8> x;\n{ x = 256; } { } { }", "fit")
+
+
+def test_narrowing_assignment_rejected():
+    check_fails("tele bit<8> x;\ntele bit<16> y;\n{ x = y; } { } { }")
+
+
+def test_widening_assignment_allowed():
+    check_ok("tele bit<16> x;\ntele bit<8> y;\n{ x = y; } { } { }")
+
+
+def test_dict_lookup_types():
+    check_ok("control dict<bit<8>,bool> d;\ntele bool b;\n"
+             "header bit<8> p;\n{ b = d[p]; } { } { }")
+
+
+def test_dict_key_type_mismatch():
+    check_fails("control dict<bit<32>,bool> d;\ntele bool b;\n"
+                "tele bit<32> wide;\ncontrol dict<bool,bool> e;\n"
+                "{ b = e[wide]; } { } { }")
+
+
+def test_dict_tuple_key():
+    check_ok("control dict<(bit<32>,bit<32>),bool> allowed;\n"
+             "header bit<32> s;\nheader bit<32> d;\ntele bool v;\n"
+             "{ v = allowed[(s, d)]; } { } { }")
+
+
+def test_in_over_array():
+    check_ok("tele bit<32>[4] path;\n"
+             "{ } { if (switch_id in path) { pass; } } { }")
+
+
+def test_in_over_scalar_rejected():
+    check_fails("tele bit<8> x;\n{ if (1 in x) { pass; } } { } { }")
+
+
+def test_in_item_type_mismatch():
+    check_fails("tele bit<8>[4] xs;\ntele bool b;\n"
+                "{ if (b in xs) { pass; } } { } { }")
+
+
+def test_index_non_indexable():
+    check_fails("tele bit<8> x;\n{ x = x[0]; } { } { }")
+
+
+def test_array_index_must_be_bits():
+    check_fails("tele bit<8>[4] xs;\ntele bool b;\ntele bit<8> x;\n"
+                "{ x = xs[b]; } { } { }")
+
+
+def test_abs_requires_bits():
+    check_fails("tele bool b;\n{ b = abs(b); } { } { }".replace(
+        "b = abs(b)", "b = abs(b) == abs(b)"))
+
+
+def test_length_requires_collection():
+    check_fails("tele bit<32> x;\n{ x = length(x); } { } { }")
+
+
+def test_max_arity():
+    check_fails("tele bit<8> x;\n{ x = max(x); } { } { }", "argument")
+
+
+def test_tuple_comparison():
+    check_ok("header bit<8> a;\nheader bit<8> b;\n"
+             "{ } { } { if ((a, b) == (b, a)) { reject; } }")
+
+
+def test_augassign_requires_bit_target():
+    check_fails("tele bool b;\n{ b += 1; } { } { }")
+
+
+def test_push_type_mismatch():
+    check_fails("tele bit<8>[4] xs;\ntele bit<16> wide;\n"
+                "{ xs.push(wide); } { } { }")
+
+
+def test_push_onto_scalar_rejected():
+    check_fails("tele bit<8> x;\n{ x.push(1); } { } { }")
+
+
+# ---------------------------------------------------------------------------
+# Loops (termination restrictions)
+# ---------------------------------------------------------------------------
+
+def test_for_over_scalar_rejected():
+    check_fails("tele bit<8> x;\n{ for (v in x) { pass; } } { } { }",
+                "terminat")
+
+
+def test_parallel_for_capacity_mismatch():
+    check_fails("tele bit<8>[4] a;\ntele bit<8>[5] b;\n"
+                "{ for (u, v in a, b) { pass; } } { } { }", "capacit")
+
+
+def test_loop_variable_shadows_sensor_like_figure2():
+    # Figure 2 iterates with names shadowing its sensors; must be legal.
+    check_ok("sensor bit<32> load = 0;\ntele bit<32>[4] loads;\n"
+             "{ } { loads.push(load); } "
+             "{ for (load in loads) { if (load > 10) { report; } } }")
+
+
+def test_loop_variable_scope_ends_with_loop():
+    check_fails("tele bit<8>[4] xs;\ntele bit<8> y;\n"
+                "{ for (v in xs) { pass; } y = v; } { } { }", "undeclared")
+
+
+def test_writes_tracking():
+    checked = check_ok(
+        "tele bit<8> t;\nsensor bit<8> s;\n"
+        "{ t = 1; } { s = 2; } { }")
+    assert "t" in checked.writes["init"]
+    assert "s" in checked.writes["telemetry"]
+    assert not checked.writes["checker"]
+
+
+def test_all_bundled_properties_typecheck():
+    from repro.properties import load_checked, property_names
+
+    for name in property_names():
+        load_checked(name)  # must not raise

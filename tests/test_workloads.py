@@ -1,0 +1,170 @@
+"""Workload tests: anonymizer (prefix preservation, one-wayness), campus
+trace generator (determinism, heavy tail), traffic processes."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.net.packet import ip, make_udp
+from repro.net.simulator import Network
+from repro.net.topology import single_switch
+from repro.p4.bmv2 import Bmv2Switch
+from repro.p4.programs import l2_port_forwarding
+from repro.workloads import (CampusTraceGenerator, EchoResponder, Pinger,
+                             PrefixPreservingAnonymizer, UdpLoadGenerator)
+
+
+# ---------------------------------------------------------------------------
+# Anonymizer
+# ---------------------------------------------------------------------------
+
+def common_prefix_len(a, b):
+    for i in range(32, -1, -1):
+        if i == 0 or (a >> (32 - i)) == (b >> (32 - i)):
+            return i
+    return 0
+
+
+@given(a=st.integers(min_value=0, max_value=2**32 - 1),
+       b=st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=60, deadline=None)
+def test_prefix_preservation(a, b):
+    anon = PrefixPreservingAnonymizer()
+    pa, pb = anon.anonymize_ipv4(a), anon.anonymize_ipv4(b)
+    assert common_prefix_len(pa, pb) == common_prefix_len(a, b)
+
+
+def test_anonymization_is_deterministic_per_salt():
+    a1 = PrefixPreservingAnonymizer(salt=b"one")
+    a2 = PrefixPreservingAnonymizer(salt=b"one")
+    a3 = PrefixPreservingAnonymizer(salt=b"two")
+    addr = ip(128, 112, 5, 9)
+    assert a1.anonymize_ipv4(addr) == a2.anonymize_ipv4(addr)
+    assert a1.anonymize_ipv4(addr) != a3.anonymize_ipv4(addr)
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=40, deadline=None)
+def test_anonymization_is_injective_in_practice(addr):
+    anon = PrefixPreservingAnonymizer()
+    other = addr ^ 1  # differs in the last bit
+    assert anon.anonymize_ipv4(addr) != anon.anonymize_ipv4(other)
+
+
+def test_mac_anonymization_is_local_unicast():
+    anon = PrefixPreservingAnonymizer()
+    mac = anon.anonymize_mac(0x001122334455)
+    assert mac & 0x020000000000           # locally administered
+    assert not (mac & 0x010000000000)     # unicast
+
+
+def test_packet_anonymization_changes_addresses_keeps_sizes():
+    anon = PrefixPreservingAnonymizer()
+    packet = make_udp(ip(128, 112, 1, 1), ip(93, 184, 0, 5), 1234, 80,
+                      payload_len=100)
+    packet.meta["flow_id"] = ("sensitive",)
+    out = anon.anonymize_packet(packet)
+    assert out.find("ipv4").src_addr != packet.find("ipv4").src_addr
+    assert out.length == packet.length
+    assert "flow_id" not in out.meta
+    # Original untouched.
+    assert packet.find("ipv4").src_addr == ip(128, 112, 1, 1)
+
+
+# ---------------------------------------------------------------------------
+# Campus trace generator
+# ---------------------------------------------------------------------------
+
+def test_trace_is_deterministic_under_seed():
+    a = [p.length for p in CampusTraceGenerator(seed=1).packets(200)]
+    b = [p.length for p in CampusTraceGenerator(seed=1).packets(200)]
+    c = [p.length for p in CampusTraceGenerator(seed=2).packets(200)]
+    assert a == b
+    assert a != c
+
+
+def test_trace_has_protocol_mix():
+    generator = CampusTraceGenerator(seed=3)
+    list(generator.packets(500))
+    stats = generator.stats
+    assert stats.tcp_packets > stats.udp_packets > 0
+
+
+def test_trace_sources_come_from_campus_subnets():
+    generator = CampusTraceGenerator(seed=4)
+    for packet in generator.packets(100):
+        src = packet.find("ipv4").src_addr
+        assert (src >> 16) in ((128 << 8) | 112, (140 << 8) | 180)
+
+
+def test_flow_sizes_are_heavy_tailed():
+    generator = CampusTraceGenerator(seed=5)
+    list(generator.packets(3000))
+    # Pareto(1.2): plenty of 1-packet flows, some large ones.
+    assert generator.stats.flows > 100
+
+
+def test_timed_packets_respect_duration_and_rate():
+    generator = CampusTraceGenerator(seed=6)
+    events = list(generator.timed_packets(rate_pps=1000, duration_s=0.5))
+    assert events
+    times = [t for t, _ in events]
+    assert max(times) <= 0.5
+    assert times == sorted(times)
+    # Within a generous factor of the nominal rate.
+    assert 0.5 * 500 <= len(events) <= 2.0 * 500
+
+
+# ---------------------------------------------------------------------------
+# Traffic processes
+# ---------------------------------------------------------------------------
+
+def echo_network():
+    topo = single_switch(2)
+    bmv2 = Bmv2Switch(l2_port_forwarding(), name="s1")
+    bmv2.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    bmv2.insert_entry("fwd_table", [2], "fwd_set_egress", [1])
+    return Network(topo, {"s1": bmv2})
+
+
+def test_pinger_measures_rtts():
+    network = echo_network()
+    EchoResponder(network, "h2")
+    pinger = Pinger(network, "h1", "h2", interval_s=0.001)
+    count = pinger.schedule(0.01)
+    network.run()
+    assert count == 10
+    assert len(pinger.samples) == 10
+    assert all(s.rtt_s > 0 for s in pinger.samples)
+    series = pinger.series()
+    assert series == sorted(series)
+
+
+def test_echo_responder_ignores_non_echo_traffic():
+    network = echo_network()
+    responder = EchoResponder(network, "h2")
+    packet = make_udp(network.topology.hosts["h1"].ipv4,
+                      network.topology.hosts["h2"].ipv4, 5, 9999)
+    network.host("h1").send(packet)
+    network.run()
+    assert responder.replies == 0
+
+
+def test_load_generator_is_bidirectional():
+    network = echo_network()
+    load = UdpLoadGenerator(network, "h1", "h2", rate_bps=10e6,
+                            packet_len=1000, jitter=False)
+    count = load.schedule(0.01)
+    network.run()
+    assert count == load.packets_sent
+    assert network.host("h1").rx_count > 0
+    assert network.host("h2").rx_count > 0
+
+
+def test_load_rate_approximates_target():
+    network = echo_network()
+    load = UdpLoadGenerator(network, "h1", "h2", rate_bps=8e6,
+                            packet_len=1000, jitter=False)
+    load.schedule(0.1)
+    # 8 Mb/s at 1000B datagrams = 1000 pps per direction x 0.1 s.
+    per_direction = load.packets_sent / 2
+    assert 90 <= per_direction <= 110
