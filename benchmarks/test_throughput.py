@@ -10,6 +10,8 @@ import pytest
 
 from repro.experiments import run_replay
 
+pytestmark = pytest.mark.bench
+
 RATE_PPS = 5_000
 DURATION_S = 0.05
 

@@ -7,6 +7,7 @@ Commands:
 * ``properties``               — list the bundled property library
 * ``table1``                   — reproduce Table 1
 * ``fig12``                    — run the Figure 12 RTT experiment
+* ``bench``                    — benchmark the interp vs fast engines
 * ``ltl "<formula>"``          — compile an LTLf formula to Indus
 """
 
@@ -101,7 +102,8 @@ def cmd_fig12(args: argparse.Namespace) -> int:
     from .experiments import Fig12Config, run_fig12
 
     config = Fig12Config(duration_s=args.duration,
-                         load_bps_per_pair=args.load * 1e6)
+                         load_bps_per_pair=args.load * 1e6,
+                         engine=args.engine)
     checkers = args.checkers.split(",") if args.checkers else None
     print(f"running Figure 12 (duration {args.duration}s, "
           f"{args.load} Mb/s per pair, "
@@ -116,6 +118,26 @@ def cmd_fig12(args: argparse.Namespace) -> int:
                if t.significant() else "no significant difference")
     print(f"Welch t-test: t={t.statistic:.3f}, p={t.p_value:.3f} "
           f"-> {verdict}")
+    return 0
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .experiments import format_bench, run_bench
+
+    print("benchmarking interp vs fast engines "
+          f"({args.packets} packets per run)...")
+    result = run_bench(packets=args.packets, replay=not args.no_replay,
+                       out_path=args.out)
+    print(format_bench(result))
+    if args.out:
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -211,7 +233,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkers", default="",
                    help="comma-separated checker subset "
                         "(default: all eleven Table-1 checkers)")
+    p.add_argument("--engine", default="fast", choices=["fast", "interp"],
+                   help="switch execution engine (default fast)")
     p.set_defaults(fn=cmd_fig12)
+
+    p = sub.add_parser(
+        "bench",
+        help="benchmark the behavioral model: interp vs fast packets/sec")
+    p.add_argument("--packets", type=_positive_int, default=5000,
+                   help="packets per timing run (default 5000)")
+    p.add_argument("--no-replay", action="store_true",
+                   help="skip the campus-replay goodput parity check")
+    p.add_argument("-o", "--out", default="BENCH_throughput.json",
+                   help="output JSON path (default BENCH_throughput.json)")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "run",

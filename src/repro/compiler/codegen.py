@@ -764,7 +764,9 @@ class IndusCompiler:
             operand = self._expr(expr.operand)
             if op == "-":
                 return ir.BinExpr("-", ir.Const(0, width), operand, width)
-            return ir.UnExpr(op, operand)
+            if op == "~":
+                return ir.UnExpr(op, operand, width)
+            return ir.UnExpr(op, operand)  # '!' is width-free (boolean)
         if isinstance(expr, ast.Binary):
             return self._expr_binary(expr)
         if isinstance(expr, ast.Index):

@@ -2,9 +2,11 @@
 
 * :mod:`repro.experiments.table1` — LoC / stages / PHV for every checker;
 * :mod:`repro.experiments.fig12` — RTT overhead (series, CDF, t-test);
-* :mod:`repro.experiments.throughput` — replay throughput parity.
+* :mod:`repro.experiments.throughput` — replay throughput parity;
+* :mod:`repro.experiments.bench` — interp-vs-fast engine benchmark.
 """
 
+from .bench import format_bench, measure_pps, run_bench
 from .fig12 import (ALL_CHECKERS, Fig12Config, Fig12Result, RttRun,
                     build_fabric, configure_checker_controls,
                     install_fabric_routes, run_fig12, run_rtt_experiment)
@@ -14,7 +16,7 @@ from .throughput import ThroughputResult, run_replay
 __all__ = [
     "ALL_CHECKERS", "Fig12Config", "Fig12Result", "RttRun", "Table1Row",
     "ThroughputResult", "build_fabric", "compute_row", "compute_table",
-    "configure_checker_controls", "format_table", "install_fabric_routes",
-    "run_fig12", "run_replay",
-    "run_rtt_experiment",
+    "configure_checker_controls", "format_bench", "format_table",
+    "install_fabric_routes", "measure_pps", "run_bench", "run_fig12",
+    "run_replay", "run_rtt_experiment",
 ]

@@ -1,0 +1,107 @@
+"""Engine benchmark: packets/sec for interp vs fast, goodput parity.
+
+Measures the raw ``Bmv2Switch.process`` forwarding rate of a single
+linked switch (the same setup as ``benchmarks/test_throughput.py``'s
+``test_switch_processing_rate``) under both execution engines, plus the
+campus-replay goodput under each engine as a parity check.  Results are
+written as ``BENCH_throughput.json`` so the packets/sec trajectory is
+tracked across PRs.
+
+Entry points: ``python benchmarks/run_bench.py`` or
+``python -m repro bench``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, Optional
+
+from ..compiler import compile_program, standalone_program
+from ..net.packet import ip, make_udp
+from ..p4.bmv2 import Bmv2Switch
+from ..properties import load_source
+from .throughput import run_replay
+
+ENGINES = ("interp", "fast")
+
+
+def _build_switch(engine: str) -> Bmv2Switch:
+    compiled = compile_program(load_source("loops"), name="loops")
+    program = standalone_program(compiled)
+    sw = Bmv2Switch(program, name="s1", engine=engine)
+    sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
+    sw.insert_entry(compiled.inject_table, [1], compiled.mark_first_action)
+    sw.insert_entry(compiled.strip_table, [2], compiled.mark_last_action)
+    return sw
+
+
+def measure_pps(engine: str, packets: int = 5000, warmup: int = 500,
+                repeats: int = 3) -> float:
+    """Best-of-N packets/sec through one linked switch."""
+    if packets < 1:
+        raise ValueError("packets must be >= 1, got %d" % packets)
+    sw = _build_switch(engine)
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    for _ in range(warmup):
+        sw.process(packet, 1)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(packets):
+            sw.process(packet, 1)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, packets / elapsed)
+    return best
+
+
+def run_bench(packets: int = 5000, replay: bool = True,
+              out_path: Optional[str] = None) -> Dict[str, Any]:
+    """The full benchmark; optionally writes the JSON report."""
+    result: Dict[str, Any] = {"benchmark": "switch_processing_rate",
+                              "program": "loops (linked standalone)",
+                              "engines": {}}
+    for engine in ENGINES:
+        pps = measure_pps(engine, packets=packets)
+        result["engines"][engine] = {"pps": round(pps, 1),
+                                     "us_per_packet": round(1e6 / pps, 2)}
+    result["speedup"] = round(
+        result["engines"]["fast"]["pps"] /
+        result["engines"]["interp"]["pps"], 2)
+    if replay:
+        goodput: Dict[str, Any] = {}
+        for engine in ENGINES:
+            r = run_replay(["loops"], engine, rate_pps=5000,
+                           duration_s=0.05, engine=engine)
+            goodput[engine] = {"goodput_bps": round(r.goodput_bps, 1),
+                               "delivery_ratio": round(r.delivery_ratio, 4)}
+        goodput["parity"] = (
+            goodput["fast"]["goodput_bps"] ==
+            goodput["interp"]["goodput_bps"])
+        result["replay_goodput"] = goodput
+    if out_path:
+        with open(out_path, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def format_bench(result: Dict[str, Any]) -> str:
+    lines = [f"engine benchmark — {result['program']}"]
+    for engine in ENGINES:
+        stats = result["engines"][engine]
+        lines.append(f"  {engine:7s} {stats['pps']:10.0f} pps  "
+                     f"({stats['us_per_packet']:.1f} us/pkt)")
+    lines.append(f"  speedup {result['speedup']:.2f}x (fast vs interp)")
+    goodput = result.get("replay_goodput")
+    if goodput:
+        for engine in ENGINES:
+            stats = goodput[engine]
+            lines.append(
+                f"  replay {engine:7s} goodput="
+                f"{stats['goodput_bps'] / 1e6:8.1f} Mb/s "
+                f"delivery={stats['delivery_ratio']:.3f}")
+        lines.append("  goodput parity: "
+                     + ("OK" if goodput["parity"] else "MISMATCH"))
+    return "\n".join(lines)

@@ -44,6 +44,7 @@ class Fig12Config:
     duration_s: float = 0.4
     ping_interval_s: float = 0.002
     seed: int = 11
+    engine: str = "fast"  # Bmv2Switch execution engine for every switch
 
 
 @dataclass
@@ -83,13 +84,15 @@ def build_fabric(checkers: Optional[List[str]],
     deployment: Optional[HydraDeployment] = None
     if checkers:
         compiled = compile_suite(checkers)
-        deployment = HydraDeployment(topology, compiled, forwarding)
+        deployment = HydraDeployment(topology, compiled, forwarding,
+                                     engine=config.engine)
         network = deployment.network
         switches = deployment.switches
     else:
         switches = {
             name: Bmv2Switch(forwarding[name], name=name,
-                             switch_id=spec.switch_id)
+                             switch_id=spec.switch_id,
+                             engine=config.engine)
             for name, spec in topology.switches.items()
         }
         network = Network(topology, switches)

@@ -20,7 +20,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from ..p4.bmv2 import Bmv2Switch, DigestMessage
+from ..p4.bmv2 import (DEFAULT_LOG_CAPACITY, Bmv2Switch, BoundedLog,
+                       DigestMessage)
 from .packet import Packet
 from .topology import Endpoint, Link, Topology
 
@@ -136,7 +137,8 @@ class Network:
     def __init__(self, topology: Topology,
                  switch_programs: Dict[str, Bmv2Switch],
                  stage_counts: Optional[Dict[str, int]] = None,
-                 serialize_on_wire: bool = False):
+                 serialize_on_wire: bool = False,
+                 report_capacity: int = DEFAULT_LOG_CAPACITY):
         self.topology = topology
         self.serialize_on_wire = serialize_on_wire
         self.sim = Simulator()
@@ -152,7 +154,9 @@ class Network:
                 name, switch_programs[name],
                 stages=stage_counts.get(name, DEFAULT_STAGES),
             )
-        self.reports: List[DigestMessage] = []
+        # Bounded: long replays keep a ring of recent reports plus the
+        # cumulative count (``reports.total``) instead of growing forever.
+        self.reports: BoundedLog = BoundedLog(report_capacity)
         for device in self.switches.values():
             device.bmv2.on_digest(self.reports.append)
         self.packets_delivered = 0

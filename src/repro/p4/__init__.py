@@ -2,12 +2,13 @@
 and a pretty-printer to P4-16 source text."""
 
 from . import ir
-from .bmv2 import (Bmv2Switch, DigestMessage, DROP_PORT, PacketContext,
-                   P4RuntimeError, StandardMetadata)
+from .bmv2 import (Bmv2Switch, BoundedLog, DigestMessage, DROP_PORT,
+                   PacketContext, P4RuntimeError, StandardMetadata)
+from .fastpath import FastPath
 from .pretty import count_loc, format_expr, render
 
 __all__ = [
-    "Bmv2Switch", "DigestMessage", "DROP_PORT", "P4RuntimeError",
-    "PacketContext", "StandardMetadata", "count_loc", "format_expr", "ir",
-    "render",
+    "Bmv2Switch", "BoundedLog", "DigestMessage", "DROP_PORT", "FastPath",
+    "P4RuntimeError", "PacketContext", "StandardMetadata", "count_loc",
+    "format_expr", "ir", "render",
 ]

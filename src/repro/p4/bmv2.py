@@ -4,12 +4,21 @@
 parse → ingress → egress → deparse, with match-action tables, registers,
 and digests, and exposes a P4Runtime-like control API (table entry
 insert/delete, register access, digest subscription).
+
+Two execution engines share this front door (``engine=`` on the
+constructor): the tree-walking interpreter in this module is the
+reference semantics, and :mod:`repro.p4.fastpath` compiles the program
+to closures for roughly an order of magnitude more packets/sec.  The
+differential suite (``tests/test_engine_differential.py``) pins the two
+to identical observable behavior.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
+                    Union)
 
 from ..net.packet import Header, Packet
 from . import ir
@@ -20,6 +29,67 @@ class P4RuntimeError(Exception):
 
 
 DROP_PORT = 511
+
+#: Default ring size for bounded message logs (digests, network reports).
+#: Large enough that tests and short replays see every message; long
+#: replays keep memory flat while ``total`` keeps counting.
+DEFAULT_LOG_CAPACITY = 4096
+
+
+class BoundedLog:
+    """An append-only message log with a bounded ring of recent entries.
+
+    Looks like a list for the common read patterns (``len``, iteration,
+    indexing, slicing, ``==`` against a list) but only retains the last
+    ``capacity`` entries; ``total`` counts every append ever made and
+    ``dropped`` says how many fell off the front.
+    """
+
+    __slots__ = ("capacity", "total", "_ring")
+
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY):
+        if capacity <= 0:
+            raise ValueError("log capacity must be positive")
+        self.capacity = capacity
+        self.total = 0
+        self._ring: deque = deque(maxlen=capacity)
+
+    @property
+    def dropped(self) -> int:
+        return self.total - len(self._ring)
+
+    def append(self, item: Any) -> None:
+        self.total += 1
+        self._ring.append(item)
+
+    def clear(self) -> None:
+        self.total = 0
+        self._ring.clear()
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    def __bool__(self) -> bool:
+        return bool(self._ring)
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._ring)
+
+    def __getitem__(self, key: Union[int, slice]) -> Any:
+        if isinstance(key, slice):
+            return list(self._ring)[key]
+        return self._ring[key]
+
+    def __eq__(self, other: Any) -> bool:
+        if isinstance(other, BoundedLog):
+            return list(self._ring) == list(other._ring)
+        if isinstance(other, list):
+            return list(self._ring) == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        return (f"BoundedLog({list(self._ring)!r}, total={self.total}, "
+                f"capacity={self.capacity})")
 
 
 @dataclass
@@ -101,14 +171,42 @@ class PacketContext:
         return header is not None and header.valid
 
 
+def _pop_source_route(ctx: "PacketContext") -> None:
+    """Shift the source-route stack down by one slot (both engines)."""
+    binds = sorted(
+        (b for b in ctx.hdr if b.startswith("srcRoute") and
+         b[len("srcRoute"):].isdigit()),
+        key=lambda b: int(b[len("srcRoute"):]),
+    )
+    valid = [b for b in binds if ctx.hdr[b].valid]
+    if not valid:
+        return
+    for i in range(len(valid) - 1):
+        src = ctx.hdr[valid[i + 1]]
+        dst = ctx.hdr[valid[i]]
+        dst.values.update(src.values)
+    ctx.hdr[valid[-1]].valid = False
+
+
 class Bmv2Switch:
-    """Executes a P4 program; holds runtime table/register state."""
+    """Executes a P4 program; holds runtime table/register state.
+
+    ``engine`` selects how packets are executed: ``"fast"`` (default)
+    compiles the program once to Python closures with indexed table
+    lookup (:mod:`repro.p4.fastpath`); ``"interp"`` walks the IR tree
+    per packet and serves as the reference semantics.
+    """
 
     def __init__(self, program: ir.P4Program, name: str = "s1",
-                 switch_id: int = 0):
+                 switch_id: int = 0, engine: str = "fast",
+                 digest_capacity: int = DEFAULT_LOG_CAPACITY):
+        if engine not in ("fast", "interp"):
+            raise ValueError(f"unknown engine {engine!r} "
+                             "(expected 'fast' or 'interp')")
         self.program = program
         self.name = name
         self.switch_id = switch_id
+        self.engine = engine
         self.entries: Dict[str, List[ir.TableEntry]] = {
             t: [] for t in program.tables
         }
@@ -119,10 +217,17 @@ class Bmv2Switch:
             reg.name: reg.width for reg in program.registers
         }
         self.digest_listeners: List[Callable[[DigestMessage], None]] = []
-        self.digests: List[DigestMessage] = []
+        self.digests = BoundedLog(digest_capacity)
         # Statistics for the evaluation harness.
         self.packets_processed = 0
         self.packets_dropped = 0
+        # Copy elision: a program that provably never mutates headers can
+        # run on a packet shell sharing the original Header instances.
+        self._share_headers = not ir.mutates_headers(program)
+        self._fast = None
+        if engine == "fast":
+            from .fastpath import FastPath  # deferred: fastpath imports us
+            self._fast = FastPath(program, self)
 
     # ==================================================================
     # Control-plane (P4Runtime-like) API
@@ -148,6 +253,8 @@ class Bmv2Switch:
         entry = ir.TableEntry(match=match, action=action, args=args,
                               priority=priority)
         self.entries[table_name].append(entry)
+        if self._fast is not None:
+            self._fast.invalidate_table(table_name)
         return entry
 
     def delete_entry(self, table_name: str, entry: ir.TableEntry) -> None:
@@ -156,10 +263,14 @@ class Bmv2Switch:
             self.entries[table_name].remove(entry)
         except ValueError as exc:
             raise P4RuntimeError("entry not installed") from exc
+        if self._fast is not None:
+            self._fast.invalidate_table(table_name)
 
     def clear_table(self, table_name: str) -> None:
         self._table(table_name)
         self.entries[table_name].clear()
+        if self._fast is not None:
+            self._fast.invalidate_table(table_name)
 
     def set_default_action(self, table_name: str, action: str,
                            args: Optional[List[int]] = None) -> None:
@@ -191,8 +302,11 @@ class Bmv2Switch:
 
         Returns a list of (egress_port, packet) pairs — empty if dropped.
         """
+        if self._fast is not None:
+            return self._fast.process(packet, ingress_port)
         self.packets_processed += 1
-        work = packet.copy()
+        work = (packet.copy_shared() if self._share_headers
+                else packet.copy())
         standard = StandardMetadata(ingress_port=ingress_port,
                                     packet_length=work.length)
         ctx = PacketContext(self.program, work, standard)
@@ -347,20 +461,7 @@ class Bmv2Switch:
         raise P4RuntimeError(f"unknown statement {type(stmt).__name__}")
 
     def _pop_source_route(self, ctx: PacketContext) -> None:
-        """Shift the source-route stack down by one slot."""
-        binds = sorted(
-            (b for b in ctx.hdr if b.startswith("srcRoute") and
-             b[len("srcRoute"):].isdigit()),
-            key=lambda b: int(b[len("srcRoute"):]),
-        )
-        valid = [b for b in binds if ctx.hdr[b].valid]
-        if not valid:
-            return
-        for i in range(len(valid) - 1):
-            src = ctx.hdr[valid[i + 1]]
-            dst = ctx.hdr[valid[i]]
-            dst.values.update(src.values)
-        ctx.hdr[valid[-1]].valid = False
+        _pop_source_route(ctx)
 
     # -- tables --------------------------------------------------------------------
 
@@ -423,10 +524,11 @@ class Bmv2Switch:
             value = self._eval(expr.operand, ctx)
             if expr.op == "!":
                 return 0 if value else 1
+            mask = (1 << ir.unexpr_width(expr)) - 1
             if expr.op == "~":
-                return ~value & 0xFFFFFFFF
+                return ~value & mask
             if expr.op == "-":
-                return -value & 0xFFFFFFFF
+                return -value & mask
             raise P4RuntimeError(f"unknown unary op {expr.op!r}")
         if isinstance(expr, ir.BinExpr):
             return self._eval_bin(expr, ctx)

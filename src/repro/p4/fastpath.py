@@ -1,0 +1,818 @@
+"""Fast-path execution engine: a P4 program compiled to Python closures.
+
+The reference engine in :mod:`repro.p4.bmv2` walks the IR tree for every
+packet: ``isinstance`` dispatch per statement, string ``partition`` per
+field access, and a linear scan over installed entries per table apply.
+This module performs all of that work *once*, when a switch is built:
+
+* **Expressions and statements** lower to nested closures.  Field paths
+  are resolved at compile time to direct dict accessors (``ctx.hdr``,
+  ``ctx.meta``) with width masks precomputed; operators specialize to
+  one closure each.
+* **The parser** becomes a precomputed state table: per-state extract
+  closures plus a compiled transition function, with blank header
+  instances stamped out from per-type value templates instead of being
+  rebuilt field-by-field for every packet.
+* **Actions** compile once per program; installed entries bind the
+  compiled body to a prepared parameter dict ("bound closures with
+  parameter slots"), so applying a hit costs one dict swap.
+* **Tables** are indexed at entry-install time (:class:`_TableIndex`):
+  exact-match tables become hash lookups keyed on the value tuple, LPM
+  tables become per-prefix-length buckets probed longest-first, and
+  ternary/range/priority tables stay a small list pre-sorted in win
+  order.  Entry insert/delete invalidates only that table's index,
+  which is rebuilt lazily on the next apply.
+
+The engine is selected per switch: ``Bmv2Switch(program, engine="fast")``
+(the default) or ``engine="interp"`` for the reference tree-walker.  The
+two must be observationally identical — byte-identical output packets,
+digests, and register state; ``tests/test_engine_differential.py`` holds
+that line over the full properties corpus and fuzz-generated programs.
+
+Control-plane state must be mutated through the ``Bmv2Switch`` API
+(``insert_entry`` / ``delete_entry`` / ``clear_table``); mutating
+``switch.entries`` lists directly bypasses index invalidation.
+"""
+
+from __future__ import annotations
+
+import operator
+from collections import deque
+
+_CMP_OPS = {
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..net.packet import Header, Packet
+from . import ir
+from .bmv2 import (DROP_PORT, DigestMessage, P4RuntimeError, PacketContext,
+                   StandardMetadata, _pop_source_route)
+
+# Compiled callables: expressions return ints, statements return None,
+# writers take (ctx, value).
+ExprFn = Callable[[Any], int]
+StmtFn = Callable[[Any], None]
+WriteFn = Callable[[Any, int], None]
+
+_EMPTY_ARGS: Dict[str, int] = {}
+
+_LPM_WIDTH = 32  # the reference engine's fixed LPM key width
+
+
+class _FastContext(PacketContext):
+    """Per-packet state for the fast engine.
+
+    Subclasses :class:`PacketContext` so extern functions keep the full
+    duck-typed API (``read``/``write``/``is_valid``/``meta``), but skips
+    the parent's per-packet template construction — the engine hands in
+    a pre-copied metadata dict and the shared width map.
+    """
+
+    def __init__(self, program: ir.P4Program, packet: Packet,
+                 standard: StandardMetadata, meta: Dict[str, int],
+                 meta_width: Dict[str, int]):
+        self.program = program
+        self.packet = packet
+        self.standard = standard
+        self.hdr = {}
+        self.tail = []
+        self.meta = meta
+        self._meta_width = meta_width
+        self.action_args = _EMPTY_ARGS
+
+
+def _noop(ctx) -> None:
+    return None
+
+
+def _chain(fns: Sequence[StmtFn]) -> StmtFn:
+    """Fuse a statement sequence into one callable (hot-path dispatch)."""
+    if not fns:
+        return _noop
+    if len(fns) == 1:
+        return fns[0]
+    if len(fns) == 2:
+        first, second = fns
+
+        def chain2(ctx, _a=first, _b=second):
+            _a(ctx)
+            _b(ctx)
+
+        return chain2
+    fns = tuple(fns)
+
+    def chain_n(ctx, _fns=fns):
+        for fn in _fns:
+            fn(ctx)
+
+    return chain_n
+
+
+def _writable_binds(program: ir.P4Program, binds: Dict[str, Any]) -> set:
+    """Bind names whose Header instance the program may mutate.
+
+    Anything else can be pre-bound to a single shared invalid blank
+    instead of a fresh one per packet: reads of an invalid header yield
+    0 without touching values, and deparse skips invalid headers, so an
+    unwritten blank never escapes or changes.
+    """
+    out: set = set()
+    bodies = [program.ingress, program.egress]
+    bodies.extend(action.body for action in program.actions.values())
+    for body in bodies:
+        for stmt in ir.walk_stmts(body):
+            if isinstance(stmt, (ir.AssignStmt, ir.RegisterRead)):
+                if stmt.dest.startswith("hdr."):
+                    out.add(stmt.dest.split(".")[1])
+            elif isinstance(stmt, (ir.SetValid, ir.SetInvalid)):
+                out.add(stmt.header)
+            elif isinstance(stmt, ir.PopSourceRoute):
+                out.update(b for b in binds if b.startswith("srcRoute"))
+            elif isinstance(stmt, ir.ExternCall):
+                return set(binds)  # raw context access; assume the worst
+    return out
+
+
+def _raiser(exc: BaseException) -> Callable:
+    """A callable that raises ``exc`` when invoked (any call shape).
+
+    Used for constructs whose reference semantics fail at *execution*
+    time (unknown paths, unknown tables, bad ops): compiling them must
+    not fail early, or dead code would change program acceptance.
+    """
+
+    def raise_(*_args, **_kwargs):
+        raise exc
+
+    return raise_
+
+
+class _TableIndex:
+    """Indexed lookup over one table's installed entries.
+
+    Win order matches the reference scan exactly: longest LPM prefix
+    first (when the table has an LPM key), then higher numeric priority,
+    then earliest insertion.
+    """
+
+    def __init__(self, engine: "FastPath", name: str, table: ir.Table):
+        self.engine = engine
+        self.name = name
+        self.table = table
+        kinds = [k.kind for k in table.keys]
+        lpm_indexes = [i for i, k in enumerate(kinds)
+                       if k is ir.MatchKind.LPM]
+        self._lpm_index: Optional[int] = (
+            lpm_indexes[0] if lpm_indexes else None)
+        if all(k is ir.MatchKind.EXACT for k in kinds):
+            self._mode = "exact"
+        elif len(lpm_indexes) == 1 and all(
+                k is ir.MatchKind.EXACT for i, k in enumerate(kinds)
+                if i != lpm_indexes[0]):
+            self._mode = "lpm"
+        else:
+            self._mode = "scan"
+        self._dirty = True
+        self._exact_map: Dict[Tuple, Callable] = {}
+        self._buckets: Dict[int, Dict[Tuple, Callable]] = {}
+        self._plens: List[int] = []
+        self._masks: Dict[int, int] = {}
+        self._scan: List[Tuple[ir.TableEntry, Callable]] = []
+        # Default action: bound lazily and re-bound whenever the table's
+        # default_action tuple changes identity — the declaration is
+        # shared program state, so another switch may swap it under us.
+        self._default_src: Any = _raiser  # sentinel, never a valid value
+        self._default_bound: Optional[Callable] = None
+
+    def invalidate(self) -> None:
+        self._dirty = True
+
+    def _sort_key(self, index: int, entry: ir.TableEntry) -> Tuple:
+        if self._lpm_index is not None:
+            plen = entry.match[self._lpm_index][1]  # type: ignore[index]
+        else:
+            plen = 0
+        return (-plen, -entry.priority, index)
+
+    def _rebuild(self) -> None:
+        entries = self.engine.switch.entries[self.name]
+        ranked = sorted(
+            ((self._sort_key(i, e), e) for i, e in enumerate(entries)),
+            key=operator.itemgetter(0),
+        )
+        bind = self.engine._bind_action
+        if self._mode == "exact":
+            table_map: Dict[Tuple, Callable] = {}
+            for _, entry in ranked:
+                table_map.setdefault(tuple(entry.match),
+                                     bind(entry.action, entry.args))
+            self._exact_map = table_map
+        elif self._mode == "lpm":
+            lpm_i = self._lpm_index
+            buckets: Dict[int, Dict[Tuple, Callable]] = {}
+            masks: Dict[int, int] = {}
+            for _, entry in ranked:
+                prefix, plen = entry.match[lpm_i]  # type: ignore[index,misc]
+                mask = ((((1 << plen) - 1) << (_LPM_WIDTH - plen))
+                        if plen else 0)
+                masks[plen] = mask
+                probe = list(entry.match)
+                probe[lpm_i] = prefix & mask
+                buckets.setdefault(plen, {}).setdefault(
+                    tuple(probe), bind(entry.action, entry.args))
+            self._buckets = buckets
+            self._masks = masks
+            self._plens = sorted(buckets, reverse=True)
+        else:
+            self._scan = [(entry, bind(entry.action, entry.args))
+                          for _, entry in ranked]
+        self._dirty = False
+
+    def lookup(self, key_values: Tuple[int, ...]) -> Optional[Callable]:
+        """The bound action runner of the winning entry, or None."""
+        if self._dirty:
+            self._rebuild()
+        if self._mode == "exact":
+            return self._exact_map.get(key_values)
+        if self._mode == "lpm":
+            lpm_i = self._lpm_index
+            value = key_values[lpm_i]
+            for plen in self._plens:
+                probe = list(key_values)
+                probe[lpm_i] = value & self._masks[plen]
+                bound = self._buckets[plen].get(tuple(probe))
+                if bound is not None:
+                    return bound
+            return None
+        table = self.table
+        for entry, bound in self._scan:
+            if entry.matches(table, key_values):
+                return bound
+        return None
+
+    def default_bound(self) -> Optional[Callable]:
+        current = self.table.default_action
+        if current is None:
+            return None
+        if current is not self._default_src:
+            self._default_src = current
+            action, args = current
+            self._default_bound = self.engine._bind_action(action, args)
+        return self._default_bound
+
+
+class FastPath:
+    """One program compiled to closures, executing for one switch."""
+
+    def __init__(self, program: ir.P4Program, switch):
+        self.program = program
+        self.switch = switch
+        self._meta_template: Dict[str, int] = {
+            name: 0 for name, _ in program.metadata
+        }
+        self._meta_width: Dict[str, int] = dict(program.metadata)
+        self._bind_types = program.bind_types()
+        # Blank-header pre-binding: the reference engine binds every name
+        # to an invalid blank before parsing.  Binds the program provably
+        # never writes get ONE shared blank (created here, reused for
+        # every packet); writable binds get a (htype, template) recipe
+        # for stamping out a fresh blank per packet.
+        writable = _writable_binds(program, self._bind_types)
+        self._bind_templates: List[Tuple[str, Optional[Header], Any,
+                                         Dict[str, int]]] = []
+        for bind, htype in self._bind_types.items():
+            template = {f.name: 0 for f in htype.fields}
+            shared: Optional[Header] = None
+            if bind not in writable:
+                shared = Header.__new__(Header)
+                object.__setattr__(shared, "htype", htype)
+                object.__setattr__(shared, "values", dict(template))
+                object.__setattr__(shared, "valid", False)
+            self._bind_templates.append((bind, shared, htype, template))
+        self._emit_order: List[str] = list(program.emit_order)
+        self.tables: Dict[str, _TableIndex] = {
+            name: _TableIndex(self, name, table)
+            for name, table in program.tables.items()
+        }
+        # Compiled action bodies (per program, shared by all entries).
+        self._action_bodies: Dict[str, StmtFn] = {}
+        self._action_params: Dict[str, List[str]] = {}
+        for name, action in program.actions.items():
+            self._action_bodies[name] = self._compile_body(action.body)
+            self._action_params[name] = [p for p, _ in action.params]
+        self._states = {
+            state.name: self._compile_state(state)
+            for state in program.parser.states
+        }
+        self._start = program.parser.start
+        self._ingress = self._compile_body(program.ingress)
+        self._egress = self._compile_body(program.egress)
+
+    # -- control-plane hooks -------------------------------------------------
+
+    def invalidate_table(self, name: str) -> None:
+        index = self.tables.get(name)
+        if index is not None:
+            index.invalidate()
+
+    # -- field access compilation --------------------------------------------
+
+    def _compile_read(self, path: str) -> ExprFn:
+        root, _, rest = path.partition(".")
+        if root == "hdr":
+            bind, _, fname = rest.partition(".")
+
+            def read_hdr(ctx, _bind=bind, _fname=fname):
+                header = ctx.hdr.get(_bind)
+                if header is None or not header.valid:
+                    return 0  # reading an invalid header yields 0
+                return header.values[_fname]
+
+            return read_hdr
+        if root == "meta":
+            if rest not in self._meta_template:
+                return _raiser(
+                    P4RuntimeError(f"unknown metadata field {rest!r}"))
+
+            def read_meta(ctx, _name=rest):
+                return ctx.meta[_name]
+
+            return read_meta
+        if root == "standard_metadata":
+            getter = operator.attrgetter(rest)
+
+            def read_std(ctx, _get=getter):
+                return int(_get(ctx.standard))
+
+            return read_std
+        if root == "param":
+
+            def read_param(ctx, _name=rest):
+                try:
+                    return ctx.action_args[_name]
+                except KeyError:
+                    raise P4RuntimeError(
+                        f"unbound action parameter {_name!r}") from None
+
+            return read_param
+        return _raiser(P4RuntimeError(f"bad field path {path!r}"))
+
+    def _compile_write(self, path: str) -> WriteFn:
+        root, _, rest = path.partition(".")
+        if root == "hdr":
+            bind, _, fname = rest.partition(".")
+            htype = self._bind_types.get(bind)
+            if htype is None:
+                return _raiser(
+                    P4RuntimeError(f"write to unbound header {bind!r}"))
+            if not htype.has_field(fname):
+                return _raiser(KeyError(fname))
+            mask = (1 << htype.field(fname).width) - 1
+
+            def write_hdr(ctx, value, _bind=bind, _fname=fname, _mask=mask):
+                header = ctx.hdr.get(_bind)
+                if header is None:
+                    raise P4RuntimeError(
+                        f"write to unbound header {_bind!r}")
+                header.values[_fname] = value & _mask
+
+            return write_hdr
+        if root == "meta":
+            if rest not in self._meta_template:
+                return _raiser(
+                    P4RuntimeError(f"unknown metadata field {rest!r}"))
+            mask = (1 << self._meta_width[rest]) - 1
+
+            def write_meta(ctx, value, _name=rest, _mask=mask):
+                ctx.meta[_name] = value & _mask
+
+            return write_meta
+        if root == "standard_metadata":
+
+            def write_std(ctx, value, _name=rest):
+                setattr(ctx.standard, _name, int(value))
+
+            return write_std
+        return _raiser(P4RuntimeError(f"cannot write to {path!r}"))
+
+    # -- expression compilation ----------------------------------------------
+
+    def _compile_expr(self, expr: ir.P4Expr) -> ExprFn:
+        if isinstance(expr, ir.Const):
+            value = expr.value & ((1 << expr.width) - 1)
+            return lambda ctx, _v=value: _v
+        if isinstance(expr, ir.FieldRef):
+            return self._compile_read(expr.path)
+        if isinstance(expr, ir.ValidRef):
+
+            def valid(ctx, _bind=expr.header):
+                header = ctx.hdr.get(_bind)
+                return 1 if (header is not None and header.valid) else 0
+
+            return valid
+        if isinstance(expr, ir.UnExpr):
+            operand = self._compile_expr(expr.operand)
+            if expr.op == "!":
+                return lambda ctx, _f=operand: 0 if _f(ctx) else 1
+            mask = (1 << ir.unexpr_width(expr)) - 1
+            if expr.op == "~":
+                return lambda ctx, _f=operand, _m=mask: ~_f(ctx) & _m
+            if expr.op == "-":
+                return lambda ctx, _f=operand, _m=mask: -_f(ctx) & _m
+            return _raiser(P4RuntimeError(f"unknown unary op {expr.op!r}"))
+        if isinstance(expr, ir.BinExpr):
+            return self._compile_bin(expr)
+        return _raiser(
+            P4RuntimeError(f"unknown expression {type(expr).__name__}"))
+
+    def _compile_bin(self, expr: ir.BinExpr) -> ExprFn:
+        op = expr.op
+        left = self._compile_expr(expr.left)
+        right = self._compile_expr(expr.right)
+        if op == "&&":
+            return lambda ctx, _l=left, _r=right: \
+                1 if (_l(ctx) and _r(ctx)) else 0
+        if op == "||":
+            return lambda ctx, _l=left, _r=right: \
+                1 if (_l(ctx) or _r(ctx)) else 0
+        mask = (1 << expr.width) - 1
+        width = expr.width
+        if op == "+":
+            return lambda ctx, _l=left, _r=right, _m=mask: \
+                (_l(ctx) + _r(ctx)) & _m
+        if op == "-":
+            return lambda ctx, _l=left, _r=right, _m=mask: \
+                (_l(ctx) - _r(ctx)) & _m
+        if op == "*":
+            return lambda ctx, _l=left, _r=right, _m=mask: \
+                (_l(ctx) * _r(ctx)) & _m
+        if op == "/":
+            def div(ctx, _l=left, _r=right, _m=mask):
+                r = _r(ctx)
+                return (_l(ctx) // r) & _m if r else 0
+            return div
+        if op == "%":
+            def mod(ctx, _l=left, _r=right, _m=mask):
+                r = _r(ctx)
+                return (_l(ctx) % r) & _m if r else 0
+            return mod
+        if op == "&":
+            return lambda ctx, _l=left, _r=right, _m=mask: \
+                (_l(ctx) & _r(ctx)) & _m
+        if op == "|":
+            return lambda ctx, _l=left, _r=right, _m=mask: \
+                (_l(ctx) | _r(ctx)) & _m
+        if op == "^":
+            return lambda ctx, _l=left, _r=right, _m=mask: \
+                (_l(ctx) ^ _r(ctx)) & _m
+        if op == "<<":
+            return lambda ctx, _l=left, _r=right, _m=mask, _w=width: \
+                (_l(ctx) << (_r(ctx) % _w)) & _m
+        if op == ">>":
+            return lambda ctx, _l=left, _r=right, _m=mask, _w=width: \
+                (_l(ctx) >> (_r(ctx) % _w)) & _m
+        if op == "==":
+            return lambda ctx, _l=left, _r=right: \
+                1 if _l(ctx) == _r(ctx) else 0
+        if op == "!=":
+            return lambda ctx, _l=left, _r=right: \
+                1 if _l(ctx) != _r(ctx) else 0
+        if op == "<":
+            return lambda ctx, _l=left, _r=right: \
+                1 if _l(ctx) < _r(ctx) else 0
+        if op == "<=":
+            return lambda ctx, _l=left, _r=right: \
+                1 if _l(ctx) <= _r(ctx) else 0
+        if op == ">":
+            return lambda ctx, _l=left, _r=right: \
+                1 if _l(ctx) > _r(ctx) else 0
+        if op == ">=":
+            return lambda ctx, _l=left, _r=right: \
+                1 if _l(ctx) >= _r(ctx) else 0
+        if op == "absdiff":
+            def absdiff(ctx, _l=left, _r=right, _m=mask):
+                diff = (_l(ctx) - _r(ctx)) & _m
+                return min(diff, (-diff) & _m)
+            return absdiff
+        if op == "min":
+            return lambda ctx, _l=left, _r=right: min(_l(ctx), _r(ctx))
+        if op == "max":
+            return lambda ctx, _l=left, _r=right: max(_l(ctx), _r(ctx))
+        return _raiser(P4RuntimeError(f"unknown binary op {op!r}"))
+
+    def _compile_cond(self, cond: ir.P4Expr) -> ExprFn:
+        """Compile an expression used only for its truthiness.
+
+        Comparisons skip the 1/0 boxing closure and evaluate via the C
+        operator directly; ``&&``/``||`` short-circuit over recursively
+        condition-compiled operands (truthiness is preserved).  Anything
+        else falls back to the full value compiler.
+        """
+        if isinstance(cond, ir.UnExpr) and cond.op == "!":
+            inner = self._compile_cond(cond.operand)
+            return lambda ctx, _f=inner: not _f(ctx)
+        if isinstance(cond, ir.BinExpr):
+            cmp_op = _CMP_OPS.get(cond.op)
+            if cmp_op is not None:
+                left = self._compile_expr(cond.left)
+                if isinstance(cond.right, ir.Const):
+                    rvalue = cond.right.value & ((1 << cond.right.width) - 1)
+                    return lambda ctx, _l=left, _op=cmp_op, _r=rvalue: \
+                        _op(_l(ctx), _r)
+                right = self._compile_expr(cond.right)
+                return lambda ctx, _l=left, _op=cmp_op, _r=right: \
+                    _op(_l(ctx), _r(ctx))
+            if cond.op == "&&":
+                left = self._compile_cond(cond.left)
+                right = self._compile_cond(cond.right)
+                return lambda ctx, _l=left, _r=right: _l(ctx) and _r(ctx)
+            if cond.op == "||":
+                left = self._compile_cond(cond.left)
+                right = self._compile_cond(cond.right)
+                return lambda ctx, _l=left, _r=right: _l(ctx) or _r(ctx)
+        return self._compile_expr(cond)
+
+    # -- statement compilation -----------------------------------------------
+
+    def _compile_body(self, stmts: Sequence[ir.P4Stmt]) -> StmtFn:
+        return _chain([self._compile_stmt(stmt) for stmt in stmts])
+
+    def _compile_stmt(self, stmt: ir.P4Stmt) -> StmtFn:
+        if isinstance(stmt, ir.AssignStmt):
+            write = self._compile_write(stmt.dest)
+            value = self._compile_expr(stmt.value)
+            return lambda ctx, _w=write, _v=value: _w(ctx, _v(ctx))
+        if isinstance(stmt, ir.IfStmt):
+            cond = self._compile_cond(stmt.cond)
+            then_body = self._compile_body(stmt.then_body)
+            else_body = self._compile_body(stmt.else_body)
+
+            def run_if(ctx, _c=cond, _t=then_body, _e=else_body):
+                if _c(ctx):
+                    _t(ctx)
+                else:
+                    _e(ctx)
+
+            return run_if
+        if isinstance(stmt, ir.ApplyTable):
+            return self._compile_apply(stmt)
+        if isinstance(stmt, ir.RegisterRead):
+            write = self._compile_write(stmt.dest)
+            index_fn = self._compile_expr(stmt.index)
+            values = self.switch.registers.get(stmt.register)
+            if values is None:
+                return _raiser(KeyError(stmt.register))
+            size = len(values)
+
+            def reg_read(ctx, _w=write, _i=index_fn, _v=values, _n=size):
+                index = _i(ctx)
+                _w(ctx, _v[index] if 0 <= index < _n else 0)
+
+            return reg_read
+        if isinstance(stmt, ir.RegisterWrite):
+            index_fn = self._compile_expr(stmt.index)
+            value_fn = self._compile_expr(stmt.value)
+            values = self.switch.registers.get(stmt.register)
+            if values is None:
+                return _raiser(KeyError(stmt.register))
+            size = len(values)
+            mask = (1 << self.switch._register_width[stmt.register]) - 1
+
+            def reg_write(ctx, _i=index_fn, _f=value_fn, _v=values,
+                          _n=size, _m=mask):
+                index = _i(ctx)
+                if 0 <= index < _n:
+                    _v[index] = _f(ctx) & _m
+
+            return reg_write
+        if isinstance(stmt, ir.Digest):
+            fields = tuple(self._compile_expr(e) for e in stmt.fields)
+            switch = self.switch
+
+            def digest(ctx, _name=stmt.name, _fields=fields, _sw=switch):
+                message = DigestMessage(
+                    name=_name,
+                    values=[fn(ctx) for fn in _fields],
+                    switch_name=_sw.name,
+                )
+                _sw.digests.append(message)
+                for listener in _sw.digest_listeners:
+                    listener(message)
+
+            return digest
+        if isinstance(stmt, ir.SetValid):
+            def set_valid(ctx, _bind=stmt.header):
+                header = ctx.hdr.get(_bind)
+                if header is None:
+                    raise P4RuntimeError(
+                        f"setValid on unknown header {_bind!r}")
+                object.__setattr__(header, "valid", True)
+            return set_valid
+        if isinstance(stmt, ir.SetInvalid):
+            def set_invalid(ctx, _bind=stmt.header):
+                header = ctx.hdr.get(_bind)
+                if header is None:
+                    raise P4RuntimeError(
+                        f"setInvalid on unknown header {_bind!r}")
+                object.__setattr__(header, "valid", False)
+            return set_invalid
+        if isinstance(stmt, ir.MarkToDrop):
+            def mark_drop(ctx):
+                ctx.standard.drop = True
+            return mark_drop
+        if isinstance(stmt, ir.PopSourceRoute):
+            return _pop_source_route
+        if isinstance(stmt, ir.ExternCall):
+            if stmt.fn is None:
+                return lambda ctx: None
+            return stmt.fn
+        return _raiser(
+            P4RuntimeError(f"unknown statement {type(stmt).__name__}"))
+
+    def _compile_apply(self, stmt: ir.ApplyTable) -> StmtFn:
+        index = self.tables.get(stmt.table)
+        if index is None:
+            return _raiser(P4RuntimeError(f"unknown table {stmt.table!r}"))
+        readers = tuple(self._compile_read(key.path)
+                        for key in index.table.keys)
+        hit_body = self._compile_body(stmt.hit_body)
+        miss_body = self._compile_body(stmt.miss_body)
+
+        # Specialize key-tuple construction for the common arities so the
+        # per-apply cost is a couple of direct calls, not a genexpr frame.
+        if len(readers) == 1:
+            read0 = readers[0]
+
+            def make_key(ctx, _r0=read0):
+                return (_r0(ctx),)
+        elif len(readers) == 2:
+            read0, read1 = readers
+
+            def make_key(ctx, _r0=read0, _r1=read1):
+                return (_r0(ctx), _r1(ctx))
+        else:
+
+            def make_key(ctx, _readers=readers):
+                return tuple(read(ctx) for read in _readers)
+
+        def apply_table(ctx, _idx=index, _key=make_key,
+                        _hit=hit_body, _miss=miss_body):
+            bound = _idx.lookup(_key(ctx))
+            if bound is not None:
+                bound(ctx)
+                _hit(ctx)
+            else:
+                default = _idx.default_bound()
+                if default is not None:
+                    default(ctx)
+                _miss(ctx)
+
+        return apply_table
+
+    def _bind_action(self, name: str, args: Sequence[int]) -> Callable:
+        """A runner executing action ``name`` with ``args`` pre-bound."""
+        body = self._action_bodies.get(name)
+        if body is None:
+            return _raiser(P4RuntimeError(f"unknown action {name!r}"))
+        params = dict(zip(self._action_params[name], args))
+
+        def run_bound(ctx, _body=body, _params=params):
+            saved = ctx.action_args
+            ctx.action_args = _params
+            try:
+                _body(ctx)
+            finally:
+                ctx.action_args = saved
+
+        return run_bound
+
+    # -- parser compilation --------------------------------------------------
+
+    def _compile_state(self, state: ir.ParserState):
+        extracts = tuple(self._compile_extract(ex) for ex in state.extracts)
+        cases: List[Tuple[ExprFn, Optional[int], str]] = []
+        default = ir.ACCEPT
+        for tr in state.transitions:
+            if tr.field_path is None:
+                default = tr.next_state
+            else:
+                cases.append((self._compile_read(tr.field_path),
+                              tr.value, tr.next_state))
+
+        def transition(ctx, _cases=tuple(cases), _default=default):
+            for read, value, next_state in _cases:
+                if read(ctx) == value:
+                    return next_state
+            return _default
+
+        return extracts, transition
+
+    def _compile_extract(self, ex):
+        if isinstance(ex, ir.Extract):
+            def extract_one(ctx, headers, cursor, _bind=ex.bind,
+                            _htype=ex.htype):
+                if cursor >= len(headers) or \
+                        headers[cursor].htype is not _htype:
+                    return None  # reject
+                ctx.hdr[_bind] = headers[cursor]
+                return cursor + 1
+            return extract_one
+        bind_names = tuple(f"{ex.bind}{i}" for i in range(ex.max_depth))
+
+        def extract_stack(ctx, headers, cursor, _names=bind_names,
+                          _htype=ex.htype, _loop=ex.loop_field,
+                          _max=ex.max_depth):
+            depth = 0
+            count = len(headers)
+            while depth < _max and cursor < count and \
+                    headers[cursor].htype is _htype:
+                ctx.hdr[_names[depth]] = headers[cursor]
+                stop = headers[cursor].values[_loop] != 0
+                cursor += 1
+                depth += 1
+                if stop:
+                    break
+            return cursor
+
+        return extract_stack
+
+    def _parse(self, ctx: _FastContext) -> None:
+        headers = list(ctx.packet.headers)
+        cursor = 0
+        hdr = ctx.hdr
+        for bind, shared, htype, template in self._bind_templates:
+            if shared is not None:
+                hdr[bind] = shared
+            else:
+                blank = Header.__new__(Header)
+                object.__setattr__(blank, "htype", htype)
+                object.__setattr__(blank, "values", dict(template))
+                object.__setattr__(blank, "valid", False)
+                hdr[bind] = blank
+        states = self._states
+        state_name = self._start
+        guard = 0
+        while state_name not in (ir.ACCEPT, ir.REJECT_STATE):
+            guard += 1
+            if guard > 64:
+                raise P4RuntimeError("parser did not terminate")
+            state = states.get(state_name)
+            if state is None:
+                raise KeyError(f"no parser state {state_name!r}")
+            extracts, transition = state
+            rejected = False
+            for extract in extracts:
+                advanced = extract(ctx, headers, cursor)
+                if advanced is None:
+                    rejected = True
+                    break
+                cursor = advanced
+            if rejected:
+                break
+            state_name = transition(ctx)
+        ctx.tail = headers[cursor:]
+
+    def _deparse(self, ctx: _FastContext) -> Packet:
+        emitted: List[Header] = []
+        hdr = ctx.hdr
+        order = self._emit_order or list(hdr)
+        for bind in order:
+            header = hdr.get(bind)
+            if header is not None and header.valid:
+                emitted.append(header)
+        emitted.extend(ctx.tail)
+        ctx.packet.headers = emitted
+        return ctx.packet
+
+    # -- packet processing ---------------------------------------------------
+
+    def process(self, packet: Packet,
+                ingress_port: int) -> List[Tuple[int, Packet]]:
+        switch = self.switch
+        switch.packets_processed += 1
+        work = (packet.copy_shared() if switch._share_headers
+                else packet.copy())
+        standard = StandardMetadata(ingress_port=ingress_port,
+                                    packet_length=work.length)
+        ctx = _FastContext(self.program, work, standard,
+                           dict(self._meta_template), self._meta_width)
+        self._parse(ctx)
+
+        self._ingress(ctx)
+        if standard.drop or standard.egress_spec == DROP_PORT:
+            switch.packets_dropped += 1
+            return []
+        standard.egress_port = standard.egress_spec
+
+        self._egress(ctx)
+        if standard.drop:
+            switch.packets_dropped += 1
+            return []
+
+        return [(standard.egress_port, self._deparse(ctx))]

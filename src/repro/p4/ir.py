@@ -69,6 +69,9 @@ class ValidRef(P4Expr):
 class UnExpr(P4Expr):
     op: str  # '!', '~', '-'
     operand: P4Expr
+    # Result width for '~' and '-'; None means "derive from the operand"
+    # (see :func:`unexpr_width`).  '!' always yields a 1-bit boolean.
+    width: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,23 @@ class BinExpr(P4Expr):
 
 def const_bool(value: bool) -> Const:
     return Const(1 if value else 0, 1)
+
+
+def unexpr_width(expr: UnExpr) -> int:
+    """The result width of a unary '~'/'-': the explicit width when the
+    builder supplied one, otherwise the operand's declared width (falling
+    back to 32 for field references, whose width lives in the header
+    declaration rather than the expression tree)."""
+    if expr.width is not None:
+        return expr.width
+    operand = expr.operand
+    if isinstance(operand, Const):
+        return operand.width
+    if isinstance(operand, BinExpr):
+        return operand.width
+    if isinstance(operand, UnExpr):
+        return 1 if operand.op == "!" else unexpr_width(operand)
+    return 32
 
 
 # ---------------------------------------------------------------------------
@@ -392,3 +412,29 @@ def walk_exprs(expr: P4Expr):
     elif isinstance(expr, BinExpr):
         yield from walk_exprs(expr.left)
         yield from walk_exprs(expr.right)
+
+
+def _stmt_mutates_headers(stmt: P4Stmt) -> bool:
+    if isinstance(stmt, AssignStmt):
+        return stmt.dest.startswith("hdr.")
+    if isinstance(stmt, RegisterRead):
+        return stmt.dest.startswith("hdr.")
+    if isinstance(stmt, (SetValid, SetInvalid, PopSourceRoute)):
+        return True
+    if isinstance(stmt, ExternCall):
+        return True  # externs get the raw context; assume the worst
+    return False
+
+
+def mutates_headers(program: P4Program) -> bool:
+    """Whether any reachable statement can modify a header instance.
+
+    Used for copy elision: a program that provably never writes header
+    fields or validity bits can process a packet that *shares* its
+    ``Header`` objects with the original (only the packet shell is
+    copied), skipping the per-header deep copy on the hot path.
+    """
+    bodies = [program.ingress, program.egress]
+    bodies.extend(action.body for action in program.actions.values())
+    return any(_stmt_mutates_headers(stmt)
+               for body in bodies for stmt in walk_stmts(body))

@@ -242,7 +242,7 @@ def _strip_param_prefix(stmts: List[ir.P4Stmt]) -> List[ir.P4Stmt]:
         if isinstance(expr, ir.FieldRef) and expr.path.startswith("param."):
             return ir.FieldRef(expr.path[len("param."):])
         if isinstance(expr, ir.UnExpr):
-            return ir.UnExpr(expr.op, fix_expr(expr.operand))
+            return ir.UnExpr(expr.op, fix_expr(expr.operand), expr.width)
         if isinstance(expr, ir.BinExpr):
             return ir.BinExpr(expr.op, fix_expr(expr.left),
                               fix_expr(expr.right), expr.width)

@@ -59,7 +59,8 @@ class HydraDeployment:
                  forwarding: Dict[str, ir.P4Program],
                  stage_counts: Optional[Dict[str, int]] = None,
                  check_mode: str = "last_hop",
-                 serialize_on_wire: bool = False):
+                 serialize_on_wire: bool = False,
+                 engine: str = "fast"):
         self.topology = topology
         self.check_mode = check_mode
         self.compileds: List[CompiledChecker] = (
@@ -74,7 +75,8 @@ class HydraDeployment:
                 raise ValueError(f"no forwarding program for switch {name!r}")
             program = link(forwarding[name], self.compileds, role=spec.role,
                            check_mode=check_mode)
-            bmv2 = Bmv2Switch(program, name=name, switch_id=spec.switch_id)
+            bmv2 = Bmv2Switch(program, name=name, switch_id=spec.switch_id,
+                              engine=engine)
             bmv2.on_digest(self.collector.on_digest)
             self.switches[name] = bmv2
             self.linked[name] = program

@@ -1,0 +1,168 @@
+"""Table-index unit tests: insert/delete/priority/LPM tie-break order.
+
+The fast engine indexes entries (exact hash map, LPM prefix-length
+buckets, sorted scan); the interpreter scans linearly with ``_beats``.
+Every scenario here runs on both engines and asserts the same winning
+entry — plus the explicitly expected one — including churn that forces
+index invalidation and rebuild.
+"""
+
+import pytest
+
+from repro.net.packet import HeaderType
+from repro.p4 import ir
+from repro.p4.bmv2 import Bmv2Switch
+
+H = HeaderType("h", [("a", 32), ("b", 32)])
+
+ENGINES = ("interp", "fast")
+
+
+def make_program(keys):
+    """One table ``t`` with the given keys; the hit action records its
+    argument in a metadata field surfaced via egress_spec."""
+    program = ir.P4Program(
+        name="tidx",
+        parser=ir.ParserSpec(states=[
+            ir.ParserState("start", extracts=[ir.Extract("h", H)],
+                           transitions=[ir.Transition(ir.ACCEPT)]),
+        ]),
+        metadata=[("out", 32)],
+        emit_order=["h"],
+    )
+    program.add_action(ir.Action("set_out", params=[("v", 32)], body=[
+        ir.AssignStmt("standard_metadata.egress_spec",
+                      ir.FieldRef("param.v")),
+    ]))
+    program.add_table(ir.Table("t", keys=keys, actions=["set_out"]))
+    program.ingress = [ir.ApplyTable("t")]
+    return program
+
+
+def winners(program, entries, probes, default=None):
+    """For each probe packet, the egress_spec chosen by each engine."""
+    results = []
+    for engine in ENGINES:
+        sw = Bmv2Switch(program, engine=engine)
+        if default is not None:
+            sw.set_default_action("t", *default)
+        for match, args, priority in entries:
+            sw.insert_entry("t", match, "set_out", args, priority=priority)
+        row = []
+        for a, b in probes:
+            packet_out = sw.process(_packet(a, b), 1)
+            row.append(packet_out[0][0] if packet_out else None)
+        results.append(row)
+    assert results[0] == results[1], "engines disagree"
+    return results[0]
+
+
+def _packet(a, b):
+    from repro.net.packet import Packet
+    return Packet(headers=[H(a=a, b=b)], payload_len=10)
+
+
+def test_exact_match_and_miss():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.EXACT)])
+    got = winners(program,
+                  entries=[([5], [100], 0), ([9], [200], 0)],
+                  probes=[(5, 0), (9, 0), (7, 0)])
+    # A miss with no default leaves egress_spec 0 (delivered on port 0).
+    assert got == [100, 200, 0]
+
+
+def test_exact_first_inserted_wins_duplicates():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.EXACT)])
+    got = winners(program,
+                  entries=[([5], [100], 0), ([5], [200], 0)],
+                  probes=[(5, 0)])
+    assert got == [100]
+
+
+def test_lpm_longest_prefix_beats_priority():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.LPM)])
+    value = 0x0A000001  # 10.0.0.1
+    got = winners(program, entries=[
+        ([(0x0A000000, 8)], [100], 999),   # /8, huge priority
+        ([(0x0A000000, 24)], [200], 0),    # /24 must still win
+        ([(0, 0)], [300], 0),              # catch-all
+    ], probes=[(value, 0), (0x0B000001, 0)])
+    assert got == [200, 300]
+
+
+def test_lpm_same_length_priority_then_insertion():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.LPM)])
+    value = 0x0A000001
+    # Same /8 prefix: higher priority wins; equal priority -> first in.
+    got = winners(program, entries=[
+        ([(0x0A000000, 8)], [100], 1),
+        ([(0x0A000000, 8)], [200], 5),
+        ([(0x0A000000, 8)], [300], 5),
+    ], probes=[(value, 0)])
+    assert got == [200]
+
+
+def test_ternary_priority_and_insertion_order():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.TERNARY)])
+    got = winners(program, entries=[
+        ([(0x10, 0xF0)], [100], 1),
+        ([(0x10, 0xF0)], [200], 9),   # higher priority wins
+        ([(0x10, 0xF0)], [300], 9),   # tie -> first inserted (200)
+    ], probes=[(0x1A, 0)])
+    assert got == [200]
+
+
+def test_range_match():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.RANGE)])
+    got = winners(program, entries=[
+        ([(10, 20)], [100], 0),
+        ([(15, 30)], [200], 5),
+    ], probes=[(12, 0), (17, 0), (25, 0), (40, 0)])
+    assert got == [100, 200, 200, 0]
+
+
+def test_mixed_lpm_plus_exact_key():
+    program = make_program([
+        ir.TableKey("hdr.h.a", ir.MatchKind.LPM),
+        ir.TableKey("hdr.h.b", ir.MatchKind.EXACT),
+    ])
+    got = winners(program, entries=[
+        ([(0x0A000000, 8), 7], [100], 0),
+        ([(0x0A000000, 24), 7], [200], 0),
+        ([(0x0A000000, 24), 8], [300], 0),
+    ], probes=[(0x0A000001, 7), (0x0A000001, 8), (0x0AFF0001, 7)])
+    assert got == [200, 300, 100]
+
+
+def test_default_action_used_on_miss_and_tracks_changes():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.EXACT)])
+    for engine in ENGINES:
+        sw = Bmv2Switch(program, engine=engine)
+        sw.set_default_action("t", "set_out", [44])
+        assert sw.process(_packet(1, 0), 1)[0][0] == 44
+        # Changing the default after lookups must take effect.
+        sw.set_default_action("t", "set_out", [55])
+        assert sw.process(_packet(1, 0), 1)[0][0] == 55
+
+
+@pytest.mark.parametrize("kind", [ir.MatchKind.EXACT, ir.MatchKind.LPM,
+                                  ir.MatchKind.TERNARY])
+def test_insert_delete_churn_invalidates_index(kind):
+    program = make_program([ir.TableKey("hdr.h.a", kind)])
+    specs = {
+        ir.MatchKind.EXACT: (5, 5),
+        ir.MatchKind.LPM: ((5, 32), (5, 32)),
+        ir.MatchKind.TERNARY: ((5, 0xFFFFFFFF), (5, 0xFFFFFFFF)),
+    }
+    spec_a, spec_b = specs[kind]
+    for engine in ENGINES:
+        sw = Bmv2Switch(program, engine=engine)
+        entry = sw.insert_entry("t", [spec_a], "set_out", [100], priority=1)
+        assert sw.process(_packet(5, 0), 1)[0][0] == 100
+        # Insert a higher-priority entry after the index was built.
+        sw.insert_entry("t", [spec_b], "set_out", [200], priority=9)
+        assert sw.process(_packet(5, 0), 1)[0][0] == 200
+        sw.delete_entry("t", entry)
+        assert sw.process(_packet(5, 0), 1)[0][0] == 200
+        sw.clear_table("t")
+        assert sw.process(_packet(5, 0), 1)[0][0] == 0  # miss, no default
