@@ -8,6 +8,7 @@ Commands:
 * ``table1``                   — reproduce Table 1
 * ``fig12``                    — run the Figure 12 RTT experiment
 * ``bench``                    — benchmark the interp vs fast engines
+* ``difftest``                 — three-level differential oracle
 * ``ltl "<formula>"``          — compile an LTLf formula to Indus
 """
 
@@ -141,6 +142,41 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_difftest(args: argparse.Namespace) -> int:
+    from .difftest import Minimizer, dump_reproducer, run_difftest
+
+    mode = "injected-bug validation" if args.inject_bug else "oracle"
+    print(f"difftest ({mode}): seed {args.seed}, {args.iters} iteration(s)")
+    summary = run_difftest(seed=args.seed, iters=args.iters,
+                           inject_bug=args.inject_bug, progress=print)
+    if args.inject_bug:
+        print(f"mutations injected: {summary.mutations_injected}, "
+              f"caught: {summary.mutations_caught}")
+        if summary.mutations_injected == 0:
+            print("error: no iteration offered a mutation point",
+                  file=sys.stderr)
+            return 1
+        return 0 if summary.mutations_caught else 1
+    print(f"{summary.iterations} scenario(s): {summary.packets_run} packets, "
+          f"{summary.hops_checked} wire-telemetry hops, "
+          f"{summary.reports_checked} reports checked")
+    if summary.ok:
+        print("all three levels agree")
+        return 0
+    failure = summary.failures[0]
+    print(f"DISAGREEMENT: {failure}", file=sys.stderr)
+    print("minimizing...", file=sys.stderr)
+    minimizer = Minimizer()
+    try:
+        shrunk, shrunk_failure = minimizer.minimize(failure.scenario)
+    except ValueError:
+        shrunk, shrunk_failure = failure.scenario, failure
+    json_path, indus_path = dump_reproducer(shrunk, shrunk_failure, args.out)
+    print(f"minimal reproducer ({minimizer.evaluations} evaluations): "
+          f"{indus_path} + {json_path}", file=sys.stderr)
+    return 1
+
+
 def cmd_run(args: argparse.Namespace) -> int:
     from .runtime.tracecheck import TraceFormatError, run_trace_file
 
@@ -247,6 +283,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out", default="BENCH_throughput.json",
                    help="output JSON path (default BENCH_throughput.json)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "difftest",
+        help="three-level differential oracle: Indus interpreter vs "
+             "compiled P4 interp vs fastpath, over random scenarios")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first scenario seed (default 0)")
+    p.add_argument("--iters", type=_positive_int, default=100,
+                   help="number of scenarios (default 100)")
+    p.add_argument("-o", "--out", default="difftest_failures",
+                   help="directory for minimized reproducers "
+                        "(default difftest_failures)")
+    p.add_argument("--inject-bug", action="store_true",
+                   help="mutate the compiled checker each iteration and "
+                        "verify the oracle catches it")
+    p.set_defaults(fn=cmd_difftest)
 
     p = sub.add_parser(
         "run",

@@ -1,0 +1,466 @@
+"""The three-level differential oracle.
+
+One scenario runs through two full :class:`HydraDeployment` instances on
+the simulator — one per P4 engine (``interp`` and ``fast``) — while a
+per-switch tap records the hop-by-hop context each packet actually
+experienced.  The recorded trace replays through the reference
+:class:`~repro.indus.interp.Monitor` via
+:func:`repro.runtime.tracecheck.run_trace`, and the oracle asserts that
+all three levels agree on:
+
+* the **verdict** (packet delivered vs. rejected at the last hop),
+* the **reports** (block, switch id, payload — in emission order),
+* the **telemetry** each hop put on the wire (the decoded Hydra header
+  arriving at hop *i+1* must equal the monitor's state after hop *i*),
+* plus engine-vs-engine byte equality of delivered packets, register
+  state, and digest counts.
+
+Any disagreement is a compiler or engine bug by construction: the
+monitor executes the *specification* semantics on the same inputs the
+deployment saw.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..compiler import compile_program
+from ..compiler.codegen import CompiledChecker
+from ..indus import ast
+from ..net.packet import Packet, ip, make_tcp, make_udp
+from ..p4 import ir
+from ..p4.programs import l2_port_forwarding
+from ..runtime.deployment import HydraDeployment
+from ..runtime.tracecheck import run_trace
+from .scenario import Scenario, compute_path, forwarding_entries
+
+ENGINES = ("interp", "fast")
+
+
+@dataclass
+class DiffFailure:
+    """One observed disagreement between oracle levels."""
+
+    kind: str                  # "verdict" | "reports" | "telemetry" | "engine"
+    message: str
+    scenario: Scenario
+    packet_index: int = -1
+    trace: Optional[Dict[str, Any]] = None
+
+    def __str__(self) -> str:
+        return (f"[{self.kind}] packet {self.packet_index}: {self.message}\n"
+                f"  scenario: {self.scenario.describe()}")
+
+
+@dataclass
+class ScenarioResult:
+    """Outcome of one oracle iteration."""
+
+    scenario: Scenario
+    failure: Optional[DiffFailure] = None
+    packets_run: int = 0
+    hops_checked: int = 0
+    reports_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+
+@dataclass
+class _HopRecord:
+    """What the tap saw when a packet entered one switch."""
+
+    switch: str
+    ingress_port: int
+    packet_length: int
+    header_values: Dict[str, int]
+    hydra: Optional[Dict[str, Any]]     # None before injection (first hop)
+
+
+# ---------------------------------------------------------------------------
+# Packet construction and header-variable resolution
+# ---------------------------------------------------------------------------
+
+def _build_packet(spec, topology, src_host: str, dst_host: str) -> Packet:
+    src = topology.hosts[src_host].ipv4 or ip(10, 0, 0, 1)
+    dst = topology.hosts[dst_host].ipv4 or ip(10, 0, 0, 2)
+    maker = make_udp if spec.proto == "udp" else make_tcp
+    return maker(src, dst, spec.sport, spec.dport,
+                 payload_len=spec.payload_len, ttl=spec.ttl)
+
+
+def _header_bindings(compiled: CompiledChecker) -> Dict[str, str]:
+    """Indus header-var name -> resolved field path (annotation or the
+    compiler's default binding table)."""
+    from ..compiler.codegen import DEFAULT_BINDINGS
+
+    out: Dict[str, str] = {}
+    for decl in compiled.checked.program.decls_of_kind(ast.VarKind.HEADER):
+        binding = decl.annotation or DEFAULT_BINDINGS.get(decl.name)
+        if binding is None:
+            raise ValueError(
+                f"header variable {decl.name!r} has no binding")
+        out[decl.name] = binding
+    return out
+
+
+def _resolve_header(binding: str, packet: Packet, ingress_port: int) -> int:
+    """The value a compiled read of ``binding`` sees at hop entry."""
+    if binding.startswith("standard_metadata."):
+        field_name = binding.split(".", 1)[1]
+        if field_name == "ingress_port":
+            return ingress_port
+        raise ValueError(f"cannot resolve {binding!r} at hop entry")
+    path = binding[4:] if binding.startswith("hdr.") else binding
+    hname, _, fname = path.partition(".")
+    header = packet.find(hname)
+    if header is None or not header.valid:
+        return 0        # invalid header reads yield 0, as in the engines
+    return header.get(fname)
+
+
+def _decode_hydra(compiled: CompiledChecker,
+                  packet: Packet) -> Optional[Dict[str, Any]]:
+    """Decode the telemetry header into {tele name: value} (arrays as
+    lists of their first ``count`` slots), or None if not present."""
+    layout = compiled.layout
+    header = packet.find(layout.header.name)
+    if header is None or not header.valid:
+        return None
+    out: Dict[str, Any] = {}
+    for name, scalar in layout.scalars.items():
+        out[name] = header.get(scalar.field)
+    for name, arr in layout.arrays.items():
+        count = min(header.get(arr.count_field), arr.capacity)
+        out[name] = [header.get(arr.slot_fields[i]) for i in range(count)]
+    return out
+
+
+def _flatten_payload(payload: Any) -> Optional[Tuple[int, ...]]:
+    """Normalize a monitor report payload to the wire view: a flat tuple
+    of ints (bools as 0/1), or None for payload-less reports."""
+    if payload is None:
+        return None
+    if isinstance(payload, tuple):
+        out: List[int] = []
+        for item in payload:
+            flat = _flatten_payload(item)
+            out.extend(flat or ())
+        return tuple(out)
+    if isinstance(payload, bool):
+        return (1 if payload else 0,)
+    return (int(payload),)
+
+
+def _tele_snapshot(state) -> Dict[str, Any]:
+    """A plain-data copy of a monitor state's tele values."""
+    out: Dict[str, Any] = {}
+    for name, value in state.tele.items():
+        if hasattr(value, "valid_items"):
+            out[name] = [int(v) for v in value.valid_items()]
+        elif isinstance(value, bool):
+            out[name] = int(value)
+        else:
+            out[name] = int(value)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Deployment-side execution with the hop tap
+# ---------------------------------------------------------------------------
+
+@dataclass
+class _EngineRun:
+    """Everything one engine's deployment observed for one scenario."""
+
+    verdicts: List[bool] = field(default_factory=list)
+    hop_records: List[List[_HopRecord]] = field(default_factory=list)
+    reports: List[List[Tuple[str, int, Optional[Tuple[int, ...]]]]] = \
+        field(default_factory=list)
+    delivered: List[Optional[list]] = field(default_factory=list)
+    registers: Dict[str, Dict[str, List[int]]] = field(default_factory=dict)
+    digest_totals: Dict[str, int] = field(default_factory=dict)
+
+
+def _serialize_headers(packet: Packet) -> list:
+    return [(h.htype.name, h.to_bits()) for h in packet.headers if h.valid]
+
+
+def _run_engine(scenario: Scenario, compiled: CompiledChecker,
+                engine: str) -> _EngineRun:
+    topology = scenario.build_topology()
+    rng = random.Random(scenario.seed)
+    path = compute_path(topology, scenario.src_host, scenario.dst_host, rng)
+    forwarding = {name: l2_port_forwarding(f"l2_{name}")
+                  for name in topology.switches}
+    dep = HydraDeployment(topology, compiled, forwarding, engine=engine)
+    for sw, entries in forwarding_entries(
+            topology, scenario.src_host, scenario.dst_host, path).items():
+        for in_port, out_port in entries:
+            dep.switches[sw].insert_entry(
+                "fwd_table", [in_port], "fwd_set_egress", [out_port])
+    for name, value in scenario.controls.items():
+        dep.set_control(name, value)
+
+    bindings = _header_bindings(compiled)
+    records: List[_HopRecord] = []
+    for sw_name, bmv2 in dep.switches.items():
+        original = bmv2.process
+
+        def tapped(packet, ingress_port, _orig=original, _name=sw_name):
+            records.append(_HopRecord(
+                switch=_name,
+                ingress_port=ingress_port,
+                packet_length=packet.length,
+                header_values={
+                    var: _resolve_header(binding, packet, ingress_port)
+                    for var, binding in bindings.items()
+                },
+                hydra=_decode_hydra(compiled, packet),
+            ))
+            return _orig(packet, ingress_port)
+
+        bmv2.process = tapped
+
+    run = _EngineRun()
+    dst = dep.network.host(scenario.dst_host)
+    for spec in scenario.packets:
+        records.clear()
+        dep.clear_reports()
+        before_rx = dst.rx_count
+        received_at = len(dst.received)
+        packet = _build_packet(spec, topology, scenario.src_host,
+                               scenario.dst_host)
+        dep.network.host(scenario.src_host).send(packet)
+        dep.network.run()
+        run.verdicts.append(dst.rx_count > before_rx)
+        run.hop_records.append(list(records))
+        run.reports.append([
+            (r.block, topology.switches[r.switch_name].switch_id, r.payload)
+            for r in dep.reports
+        ])
+        if dst.rx_count > before_rx:
+            run.delivered.append(
+                _serialize_headers(dst.received[received_at][1]))
+        else:
+            run.delivered.append(None)
+    run.registers = {name: {reg: list(vals)
+                            for reg, vals in sw.registers.items()}
+                     for name, sw in dep.switches.items()}
+    run.digest_totals = {name: sw.digests.total
+                         for name, sw in dep.switches.items()}
+    return run
+
+
+# ---------------------------------------------------------------------------
+# The oracle
+# ---------------------------------------------------------------------------
+
+def _build_trace(scenario: Scenario, topology,
+                 hops: List[_HopRecord]) -> Dict[str, Any]:
+    """The tracecheck document reconstructing what the deployment saw.
+
+    ``hop_count`` is set to ``i + 1`` because the compiled telemetry
+    block pre-increments the counter: during hop *i* (0-based) both the
+    telemetry and checker code observe the value ``i + 1``.
+    """
+    return {
+        "controls": dict(scenario.controls),
+        "hops": [
+            {
+                "headers": dict(rec.header_values),
+                "switch_id": topology.switches[rec.switch].switch_id,
+                "packet_length": rec.packet_length,
+                "hop_count": i + 1,
+            }
+            for i, rec in enumerate(hops)
+        ],
+    }
+
+
+def run_scenario(scenario: Scenario,
+                 mutate: Optional[Callable[[CompiledChecker], Any]] = None,
+                 ) -> ScenarioResult:
+    """Run one scenario through all three levels and compare.
+
+    ``mutate``, when given, is applied to the compiled checker before
+    deployment — the injected-bug hook used to validate that the oracle
+    actually catches compiler defects.
+    """
+    result = ScenarioResult(scenario=scenario)
+
+    def fail(kind: str, message: str, packet_index: int = -1,
+             trace: Optional[Dict[str, Any]] = None) -> ScenarioResult:
+        result.failure = DiffFailure(kind=kind, message=message,
+                                     scenario=scenario,
+                                     packet_index=packet_index, trace=trace)
+        return result
+
+    source = scenario.source()
+    try:
+        compiled = compile_program(source, name=f"dt{scenario.seed}")
+    except Exception as exc:
+        return fail("compile", f"compiler rejected generated program: {exc}")
+    if mutate is not None:
+        mutate(compiled)
+
+    runs: Dict[str, _EngineRun] = {}
+    for engine in ENGINES:
+        try:
+            runs[engine] = _run_engine(scenario, compiled, engine)
+        except Exception as exc:
+            return fail("engine", f"{engine} deployment crashed: {exc!r}")
+
+    # Level 1: the two P4 engines must agree byte-for-byte.
+    a, b = runs[ENGINES[0]], runs[ENGINES[1]]
+    for i in range(len(scenario.packets)):
+        if a.verdicts[i] != b.verdicts[i]:
+            return fail("engine", f"verdict interp={a.verdicts[i]} "
+                        f"fast={b.verdicts[i]}", i)
+        if a.delivered[i] != b.delivered[i]:
+            return fail("engine", "delivered packet bytes differ", i)
+        if a.reports[i] != b.reports[i]:
+            return fail("engine", f"reports differ: interp={a.reports[i]} "
+                        f"fast={b.reports[i]}", i)
+    if a.registers != b.registers:
+        return fail("engine", "final register state differs")
+    if a.digest_totals != b.digest_totals:
+        return fail("engine", f"digest totals differ: {a.digest_totals} "
+                    f"vs {b.digest_totals}")
+
+    # Level 2+3: deployment behavior vs the reference monitor, replaying
+    # the observed per-hop context through tracecheck.
+    from ..indus import check, parse
+    checked = check(parse(source))
+    topology = scenario.build_topology()
+    run = runs[ENGINES[0]]
+    for i in range(len(scenario.packets)):
+        hops = run.hop_records[i]
+        if not hops:
+            return fail("verdict", "packet never reached a switch", i)
+        trace = _build_trace(scenario, topology, hops)
+        snapshots: List[Dict[str, Any]] = []
+        trace_result = run_trace(
+            checked, trace,
+            on_hop=lambda _i, state: snapshots.append(_tele_snapshot(state)))
+        result.packets_run += 1
+
+        # Verdict: delivered iff the monitor accepted.
+        if trace_result.accepted != run.verdicts[i]:
+            return fail(
+                "verdict",
+                f"monitor {'accepted' if trace_result.accepted else 'rejected'}"
+                f" but deployment "
+                f"{'delivered' if run.verdicts[i] else 'dropped'}",
+                i, trace)
+
+        # Reports: same (block, switch_id, payload) sequence.
+        monitor_reports = [
+            (rep.block, rep.switch_id, _flatten_payload(rep.payload))
+            for rep in trace_result.reports
+        ]
+        if monitor_reports != run.reports[i]:
+            return fail(
+                "reports",
+                f"monitor={monitor_reports} deployment={run.reports[i]}",
+                i, trace)
+        result.reports_checked += len(monitor_reports)
+
+        # Telemetry on the wire: the Hydra header arriving at hop k+1
+        # equals the monitor state after hop k.
+        for k in range(len(hops) - 1):
+            wire = hops[k + 1].hydra
+            if wire is None:
+                return fail("telemetry",
+                            f"no telemetry header arriving at hop {k + 1}",
+                            i, trace)
+            expect = snapshots[k]
+            for name, value in expect.items():
+                if name not in wire:
+                    return fail("telemetry",
+                                f"tele {name!r} missing from wire header",
+                                i, trace)
+                if wire[name] != value:
+                    return fail(
+                        "telemetry",
+                        f"hop {k}: tele {name!r} monitor={value} "
+                        f"wire={wire[name]}", i, trace)
+            result.hops_checked += 1
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Mutation injection: prove the oracle catches compiler defects
+# ---------------------------------------------------------------------------
+
+_OP_SWAP = {"+": "-", "-": "+", "*": "+", "&": "|", "|": "&", "^": "&",
+            "/": "%", "%": "/", "<<": ">>", ">>": "<<",
+            "==": "!=", "!=": "==", "<": "<=", "<=": "<",
+            ">": ">=", ">=": ">", "&&": "||", "||": "&&"}
+
+
+def _collect_mutable(stmts: List[ir.P4Stmt]) -> List[Tuple[Any, str]]:
+    """(node, kind) pairs of mutation points in a compiled block."""
+    out: List[Tuple[Any, str]] = []
+
+    def walk_expr(expr) -> None:
+        if isinstance(expr, ir.BinExpr):
+            if expr.op in _OP_SWAP:
+                out.append((expr, "op"))
+            walk_expr(expr.left)
+            walk_expr(expr.right)
+        elif isinstance(expr, ir.UnExpr):
+            walk_expr(expr.operand)
+        elif isinstance(expr, ir.Const) and expr.width == 16:
+            out.append((expr, "const"))
+
+    def walk_stmt(stmt) -> None:
+        if isinstance(stmt, ir.AssignStmt):
+            walk_expr(stmt.value)
+        elif isinstance(stmt, ir.IfStmt):
+            walk_expr(stmt.cond)
+            for inner in stmt.then_body:
+                walk_stmt(inner)
+            for inner in stmt.else_body:
+                walk_stmt(inner)
+        elif isinstance(stmt, ir.Digest):
+            for fexpr in stmt.fields[1:]:   # skip the site-id constant
+                walk_expr(fexpr)
+        elif isinstance(stmt, ir.ApplyTable):
+            for inner in stmt.hit_body:
+                walk_stmt(inner)
+            for inner in stmt.miss_body:
+                walk_stmt(inner)
+
+    for stmt in stmts:
+        walk_stmt(stmt)
+    return out
+
+
+def inject_mutation(compiled: CompiledChecker,
+                    rng: random.Random) -> Optional[str]:
+    """Mutate one expression of the compiled init/tele/checker blocks in
+    place (swap a binary operator or perturb a 16-bit constant),
+    simulating a codegen bug.  Returns a description, or None if the
+    program offers no mutation point."""
+    points = []
+    for label, stmts in (("init", compiled.init_stmts),
+                         ("telemetry", compiled.tele_stmts),
+                         ("checker", compiled.check_stmts)):
+        points.extend((label, node, kind)
+                      for node, kind in _collect_mutable(stmts))
+    if not points:
+        return None
+    label, node, kind = rng.choice(points)
+    # IR nodes are frozen dataclasses; the mutation deliberately reaches
+    # around that to simulate the compiler having emitted the wrong node.
+    if kind == "op":
+        old = node.op
+        object.__setattr__(node, "op", _OP_SWAP[old])
+        return f"{label}: swapped operator {old!r} -> {node.op!r}"
+    old_value = node.value
+    object.__setattr__(node, "value", (node.value + 1) & 0xFFFF)
+    return f"{label}: constant {old_value} -> {node.value}"

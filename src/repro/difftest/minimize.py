@@ -1,0 +1,206 @@
+"""Delta-debugging minimizer for failing oracle scenarios.
+
+Given a scenario on which :func:`repro.difftest.harness.run_scenario`
+disagrees, shrink it while preserving *some* disagreement (classic
+ddmin relaxation: any failure counts, not necessarily the original
+kind — a smaller scenario exposing a related symptom is still the
+better reproducer).  Reduction passes, run to a fixpoint:
+
+1. drop packets (keep the earliest still-failing subset),
+2. shrink the topology (fewer switches means fewer hops),
+3. drop program statements block by block,
+4. shrink integer literals inside statements (toward 0 / 1 / half).
+
+The result is dumped as a JSON bundle: the minimized scenario, the
+reconstructed hop trace of the failing packet, and the Indus source —
+exactly what ``python -m repro run --trace`` needs to replay the
+monitor side by hand.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Callable, List, Optional, Tuple
+
+from .harness import DiffFailure, run_scenario
+from .scenario import Scenario
+
+_INT_RE = re.compile(r"\b\d+\b")
+
+
+def _stmt_count(scenario: Scenario) -> int:
+    p = scenario.program
+    return len(p.init) + len(p.tele) + len(p.checker)
+
+
+def _size(scenario: Scenario) -> Tuple[int, int, int, int]:
+    """Lexicographic size for "is this candidate smaller" decisions."""
+    topo = scenario.topo_params
+    switches = {"single": 1,
+                "linear": topo.get("num_switches", 1),
+                "leaf_spine": (topo.get("num_leaves", 2)
+                               + topo.get("num_spines", 1)),
+                }[scenario.topo_kind]
+    literals = sum(int(m) for block in (scenario.program.init,
+                                        scenario.program.tele,
+                                        scenario.program.checker)
+                   for line in block for m in _INT_RE.findall(line))
+    return (len(scenario.packets), switches, _stmt_count(scenario), literals)
+
+
+class Minimizer:
+    """Shrinks a failing scenario to a fixpoint."""
+
+    def __init__(self,
+                 check: Optional[Callable[[Scenario],
+                                          Optional[DiffFailure]]] = None,
+                 max_rounds: int = 8):
+        # check(scenario) -> the failure it still exhibits, or None.
+        self.check = check or (lambda s: run_scenario(s).failure)
+        self.max_rounds = max_rounds
+        self.evaluations = 0
+
+    def _fails(self, candidate: Scenario) -> Optional[DiffFailure]:
+        self.evaluations += 1
+        try:
+            return self.check(candidate)
+        except Exception:
+            return None       # a crashing candidate is not a reproducer
+
+    def minimize(self, scenario: Scenario) -> Tuple[Scenario, DiffFailure]:
+        failure = self._fails(scenario)
+        if failure is None:
+            raise ValueError("scenario does not fail; nothing to minimize")
+        current = scenario
+        for _ in range(self.max_rounds):
+            before = _size(current)
+            current, failure = self._round(current, failure)
+            if _size(current) >= before:
+                break
+        return current, failure
+
+    def _round(self, scenario: Scenario,
+               failure: DiffFailure) -> Tuple[Scenario, DiffFailure]:
+        for pass_fn in (self._drop_packets, self._shrink_topology,
+                        self._drop_statements, self._shrink_constants):
+            scenario, failure = pass_fn(scenario, failure)
+        return scenario, failure
+
+    def _try(self, candidate: Scenario,
+             state: Tuple[Scenario, DiffFailure],
+             ) -> Tuple[Tuple[Scenario, DiffFailure], bool]:
+        failure = self._fails(candidate)
+        if failure is not None:
+            return (candidate, failure), True
+        return state, False
+
+    # -- passes ----------------------------------------------------------
+
+    def _drop_packets(self, scenario, failure):
+        state = (scenario, failure)
+        while len(state[0].packets) > 1:
+            shrunk = False
+            for i in range(len(state[0].packets)):
+                candidate = state[0].copy()
+                del candidate.packets[i]
+                state, ok = self._try(candidate, state)
+                if ok:
+                    shrunk = True
+                    break
+            if not shrunk:
+                break
+        return state
+
+    def _shrink_topology(self, scenario, failure):
+        state = (scenario, failure)
+        current_size = _size(state[0])[1]
+        candidates: List[Tuple[str, dict]] = [
+            ("single", {"num_hosts": 2}),
+            ("linear", {"num_switches": 2, "hosts_per_end": 1}),
+            ("linear", {"num_switches": 3, "hosts_per_end": 1}),
+        ]
+        for kind, params in candidates:
+            switches = params.get("num_switches", 1)
+            if switches >= current_size:
+                continue
+            candidate = state[0].copy()
+            candidate.topo_kind = kind
+            candidate.topo_params = dict(params)
+            # The builders name end hosts h1/h2 in both shapes.
+            candidate.src_host = "h1"
+            candidate.dst_host = "h2"
+            state, ok = self._try(candidate, state)
+            if ok:
+                break
+        return state
+
+    def _drop_statements(self, scenario, failure):
+        state = (scenario, failure)
+        for block in ("init", "tele", "checker"):
+            i = 0
+            while i < len(getattr(state[0].program, block)):
+                candidate = state[0].copy()
+                del getattr(candidate.program, block)[i]
+                state, ok = self._try(candidate, state)
+                if not ok:
+                    i += 1
+        return state
+
+    def _shrink_constants(self, scenario, failure):
+        state = (scenario, failure)
+        for block in ("init", "tele", "checker"):
+            lines = getattr(state[0].program, block)
+            for i in range(len(lines)):
+                for replacement in ("0", "1", None):   # None = halve
+                    changed = True
+                    while changed:
+                        changed = False
+                        line = getattr(state[0].program, block)[i]
+                        for match in _INT_RE.finditer(line):
+                            value = int(match.group())
+                            new = (value // 2 if replacement is None
+                                   else int(replacement))
+                            if new >= value:
+                                continue
+                            candidate = state[0].copy()
+                            new_line = (line[:match.start()] + str(new)
+                                        + line[match.end():])
+                            getattr(candidate.program, block)[i] = new_line
+                            state, ok = self._try(candidate, state)
+                            if ok:
+                                changed = True
+                                break
+        return state
+
+
+def dump_reproducer(scenario: Scenario, failure: DiffFailure,
+                    out_dir: str, name: str = "repro") -> Tuple[str, str]:
+    """Write the minimal reproducer: ``<name>.indus`` (the property) and
+    ``<name>.json`` (scenario + hop trace + failure description).
+
+    Returns (json_path, indus_path).
+    """
+    os.makedirs(out_dir, exist_ok=True)
+    indus_path = os.path.join(out_dir, f"{name}.indus")
+    with open(indus_path, "w") as handle:
+        handle.write(scenario.source() + "\n")
+    bundle = {
+        "failure": {
+            "kind": failure.kind,
+            "message": failure.message,
+            "packet_index": failure.packet_index,
+        },
+        "scenario": scenario.to_json(),
+        "trace": failure.trace,
+        "replay": (f"python -m repro run {name}.indus "
+                   f"--trace {name}.trace.json"),
+    }
+    json_path = os.path.join(out_dir, f"{name}.json")
+    with open(json_path, "w") as handle:
+        json.dump(bundle, handle, indent=2)
+    if failure.trace is not None:
+        with open(os.path.join(out_dir, f"{name}.trace.json"), "w") as handle:
+            json.dump(failure.trace, handle, indent=2)
+    return json_path, indus_path

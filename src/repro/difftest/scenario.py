@@ -1,0 +1,217 @@
+"""Randomized end-to-end scenarios for the differential oracle.
+
+A :class:`Scenario` is everything one oracle iteration needs, in a
+JSON-serializable form the minimizer can shrink: a generated Indus
+program (structured, see :mod:`repro.difftest.genprog`), a topology
+recipe, one traffic flow (source host, destination host, a handful of
+packets), and control-variable values.
+
+Topology recipes rather than Topology objects keep scenarios
+serializable; :meth:`Scenario.build_topology` re-materializes the graph
+and :func:`compute_path` derives the deterministic switch path the flow
+takes, from which the harness installs ingress-port-keyed forwarding
+entries (``l2_port_forwarding`` forwards by ingress port, so one flow
+per scenario keeps routing unambiguous).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..net.topology import (Endpoint, Topology, leaf_spine, linear,
+                            single_switch)
+from .genprog import ARRAY_CAPACITY, CONTROL_NAME, GenProgram, \
+    gen_oracle_program
+
+
+@dataclass
+class PacketSpec:
+    """One packet of the scenario's flow."""
+
+    sport: int
+    dport: int
+    payload_len: int
+    ttl: int
+    proto: str = "udp"          # "udp" or "tcp"
+
+    def to_json(self) -> dict:
+        return {"sport": self.sport, "dport": self.dport,
+                "payload_len": self.payload_len, "ttl": self.ttl,
+                "proto": self.proto}
+
+    @classmethod
+    def from_json(cls, data: dict) -> "PacketSpec":
+        return cls(sport=int(data["sport"]), dport=int(data["dport"]),
+                   payload_len=int(data["payload_len"]),
+                   ttl=int(data["ttl"]), proto=str(data["proto"]))
+
+
+@dataclass
+class Scenario:
+    """One differential-oracle iteration, fully serializable."""
+
+    seed: int
+    program: GenProgram
+    topo_kind: str                       # "single" | "linear" | "leaf_spine"
+    topo_params: Dict[str, int]
+    src_host: str
+    dst_host: str
+    packets: List[PacketSpec] = field(default_factory=list)
+    controls: Dict[str, int] = field(default_factory=dict)
+
+    # -- materialization -------------------------------------------------
+
+    def build_topology(self) -> Topology:
+        if self.topo_kind == "single":
+            return single_switch(**self.topo_params)
+        if self.topo_kind == "linear":
+            return linear(**self.topo_params)
+        if self.topo_kind == "leaf_spine":
+            return leaf_spine(**self.topo_params)
+        raise ValueError(f"unknown topology kind {self.topo_kind!r}")
+
+    def source(self) -> str:
+        return self.program.render()
+
+    # -- serialization ---------------------------------------------------
+
+    def to_json(self) -> dict:
+        return {
+            "seed": self.seed,
+            "program": self.program.to_json(),
+            "topo_kind": self.topo_kind,
+            "topo_params": dict(self.topo_params),
+            "src_host": self.src_host,
+            "dst_host": self.dst_host,
+            "packets": [p.to_json() for p in self.packets],
+            "controls": dict(self.controls),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "Scenario":
+        return cls(
+            seed=int(data["seed"]),
+            program=GenProgram.from_json(data["program"]),
+            topo_kind=str(data["topo_kind"]),
+            topo_params={k: int(v) for k, v in data["topo_params"].items()},
+            src_host=str(data["src_host"]),
+            dst_host=str(data["dst_host"]),
+            packets=[PacketSpec.from_json(p) for p in data["packets"]],
+            controls={str(k): int(v) for k, v in data["controls"].items()},
+        )
+
+    def copy(self) -> "Scenario":
+        return Scenario.from_json(self.to_json())
+
+    def describe(self) -> str:
+        stmts = (len(self.program.init) + len(self.program.tele)
+                 + len(self.program.checker))
+        return (f"seed={self.seed} topo={self.topo_kind}{self.topo_params} "
+                f"{self.src_host}->{self.dst_host} "
+                f"packets={len(self.packets)} stmts={stmts}")
+
+
+def compute_path(topology: Topology, src_host: str,
+                 dst_host: str, rng=None) -> List[str]:
+    """The switch path the flow takes from ``src_host`` to ``dst_host``.
+
+    Deterministic shortest-path over the builders this module uses:
+    same-switch hosts take the one attachment switch; linear chains walk
+    the chain; leaf-spine pairs transit one spine (the lowest-numbered,
+    or a seeded choice when ``rng`` is given).
+    """
+    src_sw = topology.host_attachment(src_host).node
+    dst_sw = topology.host_attachment(dst_host).node
+    if src_sw == dst_sw:
+        return [src_sw]
+    # BFS over switch-to-switch links, deterministic by sorted neighbor
+    # order; works for every builder topology.
+    frontier = [[src_sw]]
+    seen = {src_sw}
+    while frontier:
+        next_frontier = []
+        candidates = []
+        for path in frontier:
+            node = path[-1]
+            neighbors = sorted({
+                link.other(Endpoint(node, port)).node
+                for port in topology.ports_of(node)
+                for link in [topology.link_at(node, port)]
+                if link is not None
+                and link.other(Endpoint(node, port)).node
+                in topology.switches
+            })
+            for nb in neighbors:
+                if nb == dst_sw:
+                    candidates.append(path + [nb])
+                elif nb not in seen:
+                    seen.add(nb)
+                    next_frontier.append(path + [nb])
+        if candidates:
+            if rng is not None and len(candidates) > 1:
+                return rng.choice(candidates)
+            return candidates[0]
+        frontier = next_frontier
+    raise ValueError(f"no switch path {src_host} -> {dst_host}")
+
+
+def gen_scenario(seed: int) -> Scenario:
+    """Generate one randomized scenario from a seed."""
+    rng = random.Random(seed)
+    program = gen_oracle_program(rng)
+
+    topo_kind = rng.choice(["single", "linear", "leaf_spine"])
+    if topo_kind == "single":
+        params = {"num_hosts": rng.randrange(2, 5)}
+        topo = single_switch(**params)
+    elif topo_kind == "linear":
+        # Path length stays within the telemetry array capacity so dense
+        # pushes never saturate (one push per hop, capacity slots).
+        params = {"num_switches": rng.randrange(2, ARRAY_CAPACITY + 1),
+                  "hosts_per_end": rng.randrange(1, 3)}
+        topo = linear(**params)
+    else:
+        params = {"num_leaves": 2, "num_spines": rng.randrange(1, 3),
+                  "hosts_per_leaf": 2}
+        topo = leaf_spine(**params)
+
+    hosts = sorted(topo.hosts)
+    src_host = rng.choice(hosts)
+    dst_host = rng.choice([h for h in hosts if h != src_host])
+
+    packets = [
+        PacketSpec(
+            sport=rng.randrange(1, 1 << 16),
+            dport=rng.randrange(1, 1 << 16),
+            payload_len=rng.randrange(0, 1200),
+            ttl=rng.randrange(2, 255),
+            proto="udp" if rng.random() < 0.8 else "tcp",
+        )
+        for _ in range(rng.randrange(1, 5))
+    ]
+
+    controls: Dict[str, int] = {}
+    if program.has_control:
+        controls[CONTROL_NAME] = rng.randrange(0, 1 << 16)
+
+    return Scenario(seed=seed, program=program, topo_kind=topo_kind,
+                    topo_params=params, src_host=src_host, dst_host=dst_host,
+                    packets=packets, controls=controls)
+
+
+def forwarding_entries(topology: Topology, src_host: str,
+                       dst_host: str, path: List[str],
+                       ) -> Dict[str, List[Tuple[int, int]]]:
+    """Per-switch (ingress_port, egress_port) forwarding entries along
+    the flow's path, for ``l2_port_forwarding``'s ingress-port key."""
+    nodes = [src_host] + path + [dst_host]
+    out: Dict[str, List[Tuple[int, int]]] = {}
+    for i, sw in enumerate(path):
+        prev_node = nodes[i]
+        next_node = nodes[i + 2]
+        in_port = topology.port_toward(sw, prev_node)
+        out_port = topology.port_toward(sw, next_node)
+        out.setdefault(sw, []).append((in_port, out_port))
+    return out

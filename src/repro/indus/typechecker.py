@@ -321,6 +321,17 @@ class TypeChecker:
         if name in self.symbols:
             return self.symbols[name]
         if name in BUILTIN_TYPES:
+            if name == "last_hop" and self.current_block == "init":
+                # The init block compiles into the *ingress* pipeline of
+                # the first-hop switch, before forwarding has resolved an
+                # egress port — but last-hop detection keys on the egress
+                # port, so the value cannot exist yet in the data plane.
+                raise IndusTypeError(
+                    "last_hop is not available in the init block: init "
+                    "runs at ingress of the first-hop switch, before the "
+                    "egress port that identifies the last hop is known",
+                    span,
+                )
             self.used_builtins.add(name)
             return Symbol(name, BUILTIN_TYPES[name], ast.VarKind.HEADER,
                           is_builtin=True)

@@ -82,6 +82,11 @@ class Host:
         self.rx_callbacks: List[Callable[[float, Packet], None]] = []
         self.tx_count = 0
         self.rx_count = 0
+        # NIC serialization queue: time at which the host's (single)
+        # uplink finishes its current transmission — hosts get the same
+        # FIFO treatment as switch output ports, so injecting above link
+        # bandwidth queues instead of overlapping on the wire.
+        self.nic_busy_until = 0.0
 
     def add_rx_callback(self,
                         callback: Callable[[float, Packet], None]) -> None:
@@ -182,7 +187,13 @@ class Network:
             device.bytes_forwarded += packet.length
             ready = start + tx_time
         else:
-            ready = self.sim.now + tx_time
+            # Hosts serialize through their NIC FIFO exactly like a
+            # switch output port: back-to-back sends queue behind the
+            # in-flight transmission rather than bypassing it.
+            host = self.hosts[src.node]
+            start = max(self.sim.now, host.nic_busy_until)
+            host.nic_busy_until = start + tx_time
+            ready = start + tx_time
         if self.serialize_on_wire:
             packet = self._wire_roundtrip(packet)
         arrival_delay = (ready - self.sim.now) + link.latency_s

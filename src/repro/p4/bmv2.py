@@ -216,6 +216,15 @@ class Bmv2Switch:
         self._register_width: Dict[str, int] = {
             reg.name: reg.width for reg in program.registers
         }
+        # Per-switch default actions.  The ir.Table declaration is shared
+        # by every switch running this program, so runtime default-action
+        # state must live here, seeded from the program's static defaults.
+        self.default_actions: Dict[str, Optional[Tuple[str, List[int]]]] = {
+            name: (None if table.default_action is None
+                   else (table.default_action[0],
+                         list(table.default_action[1])))
+            for name, table in program.tables.items()
+        }
         self.digest_listeners: List[Callable[[DigestMessage], None]] = []
         self.digests = BoundedLog(digest_capacity)
         # Statistics for the evaluation harness.
@@ -274,15 +283,42 @@ class Bmv2Switch:
 
     def set_default_action(self, table_name: str, action: str,
                            args: Optional[List[int]] = None) -> None:
-        table = self._table(table_name)
-        table.default_action = (action, list(args or []))
+        self._table(table_name)
+        if action not in self.program.actions:
+            raise P4RuntimeError(f"unknown action {action!r}")
+        expected = len(self.program.actions[action].params)
+        args = list(args or [])
+        if len(args) != expected:
+            raise P4RuntimeError(
+                f"action {action!r} expects {expected} args, got {len(args)}"
+            )
+        self.default_actions[table_name] = (action, args)
+
+    # Control-plane register access validates its operands and raises
+    # :class:`P4RuntimeError` on a bad name or out-of-range index.  The
+    # *data-plane* RegisterRead/RegisterWrite statements deliberately do
+    # not: an out-of-range data-plane read yields 0 and an out-of-range
+    # write is ignored (see ``_exec``), mirroring hardware that clamps
+    # rather than traps.
+
+    def _register_cells(self, name: str, index: int) -> List[int]:
+        values = self.registers.get(name)
+        if values is None:
+            raise P4RuntimeError(f"unknown register {name!r}")
+        if not 0 <= index < len(values):
+            raise P4RuntimeError(
+                f"register {name!r} index {index} out of range "
+                f"[0, {len(values)})"
+            )
+        return values
 
     def register_read(self, name: str, index: int = 0) -> int:
-        return self.registers[name][index]
+        return self._register_cells(name, index)[index]
 
     def register_write(self, name: str, index: int, value: int) -> None:
+        values = self._register_cells(name, index)
         width = self._register_width[name]
-        self.registers[name][index] = int(value) & ((1 << width) - 1)
+        values[index] = int(value) & ((1 << width) - 1)
 
     def on_digest(self, listener: Callable[[DigestMessage], None]) -> None:
         self.digest_listeners.append(listener)
@@ -478,8 +514,9 @@ class Bmv2Switch:
         if best is not None:
             self._run_action(best.action, best.args, ctx)
             return True
-        if table.default_action is not None:
-            action, args = table.default_action
+        default = self.default_actions[name]
+        if default is not None:
+            action, args = default
             self._run_action(action, args, ctx)
         return False
 

@@ -184,9 +184,9 @@ class _TableIndex:
         self._plens: List[int] = []
         self._masks: Dict[int, int] = {}
         self._scan: List[Tuple[ir.TableEntry, Callable]] = []
-        # Default action: bound lazily and re-bound whenever the table's
-        # default_action tuple changes identity — the declaration is
-        # shared program state, so another switch may swap it under us.
+        # Default action: bound lazily and re-bound whenever this
+        # switch's default-action tuple changes identity (the control
+        # plane may swap it at any time via set_default_action).
         self._default_src: Any = _raiser  # sentinel, never a valid value
         self._default_bound: Optional[Callable] = None
 
@@ -257,7 +257,7 @@ class _TableIndex:
         return None
 
     def default_bound(self) -> Optional[Callable]:
-        current = self.table.default_action
+        current = self.engine.switch.default_actions[self.name]
         if current is None:
             return None
         if current is not self._default_src:

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from ..indus import (ControlStore, HopContext, Monitor, MonitorState,
                      SensorStore)
@@ -76,9 +76,17 @@ def _apply_controls(store: ControlStore, spec: Dict[str, Any]) -> None:
             store.set_value(name, value)
 
 
-def run_trace(checked: CheckedProgram,
-              trace: Dict[str, Any]) -> TraceResult:
-    """Run the monitor for ``checked`` over a parsed trace document."""
+def run_trace(checked: CheckedProgram, trace: Dict[str, Any],
+              on_hop: Optional[Callable[[int, MonitorState], None]] = None,
+              ) -> TraceResult:
+    """Run the monitor for ``checked`` over a parsed trace document.
+
+    ``on_hop``, when given, is called as ``on_hop(i, state)`` after the
+    monitor finishes hop ``i`` — the differential oracle uses this to
+    snapshot intermediate telemetry and compare it against the values
+    the compiled pipeline carried on the wire.  The state object is the
+    live monitor state; callbacks must copy what they keep.
+    """
     if not isinstance(trace, dict) or "hops" not in trace:
         raise TraceFormatError("trace documents need a 'hops' list")
     hops = trace["hops"]
@@ -105,6 +113,8 @@ def run_trace(checked: CheckedProgram,
             switch_id=int(hop.get("switch_id", i + 1)),
         )
         monitor.run_hop(state, ctx)
+        if on_hop is not None:
+            on_hop(i, state)
     return TraceResult(accepted=not state.rejected, state=state,
                        hop_count=len(hops))
 

@@ -1,85 +1,14 @@
-"""Shared grammar-directed Indus program generator for fuzz tests."""
+"""Shared grammar-directed Indus program generator for fuzz tests.
 
-import random
+The implementation moved to :mod:`repro.difftest.genprog` so the
+differential-oracle subsystem and the test suite draw from one grammar;
+this module re-exports it for the existing test imports.  Seed-stable:
+the same seed keeps producing the same program.
+"""
 
-VARS = ["v0", "v1", "v2"]
-HDRS = ["sport", "dport"]
+from repro.difftest.genprog import (HDRS, VARS, gen_cond, gen_expr,
+                                    gen_multihop_program, gen_program,
+                                    gen_stmts)
 
-
-def gen_expr(rng, depth=0):
-    """A bit<16> expression over tele vars, header vars, literals."""
-    if depth >= 3 or rng.random() < 0.4:
-        choice = rng.randrange(3)
-        if choice == 0:
-            return str(rng.randrange(0, 1 << 16))
-        if choice == 1:
-            return rng.choice(VARS)
-        return rng.choice(HDRS)
-    op = rng.choice(["+", "-", "*", "&", "|", "^"])
-    return (f"({gen_expr(rng, depth + 1)} {op} "
-            f"{gen_expr(rng, depth + 1)})")
-
-
-def gen_cond(rng, depth=0):
-    if depth < 2 and rng.random() < 0.3:
-        joiner = rng.choice(["&&", "||"])
-        return (f"({gen_cond(rng, depth + 1)} {joiner} "
-                f"{gen_cond(rng, depth + 1)})")
-    cmp_op = rng.choice(["==", "!=", "<", "<=", ">", ">="])
-    return f"{gen_expr(rng, 2)} {cmp_op} {gen_expr(rng, 2)}"
-
-
-def gen_stmts(rng, count, depth=0):
-    lines = []
-    for _ in range(count):
-        if depth < 2 and rng.random() < 0.25:
-            inner = gen_stmts(rng, rng.randint(1, 2), depth + 1)
-            lines.append(f"if ({gen_cond(rng)}) {{ {' '.join(inner)} }}")
-        else:
-            lines.append(f"{rng.choice(VARS)} = {gen_expr(rng)};")
-    return lines
-
-
-def gen_program(seed):
-    rng = random.Random(seed)
-    decls = [f"tele bit<16> {v} = {rng.randrange(0, 1 << 16)};"
-             for v in VARS]
-    decls.append("header bit<16> sport @ udp.src_port;")
-    decls.append("header bit<16> dport @ udp.dst_port;")
-    init = gen_stmts(rng, rng.randint(0, 3))
-    tele = gen_stmts(rng, rng.randint(0, 3))
-    checker = gen_stmts(rng, rng.randint(0, 2))
-    checker.append(f"if ({gen_cond(rng)}) {{ reject; }}")
-    return "\n".join(
-        decls
-        + ["{", *init, "}"]
-        + ["{", *tele, "}"]
-        + ["{", *checker, "}"]
-    )
-
-
-
-
-def gen_multihop_program(seed):
-    """A program that accumulates telemetry across hops: pushes an
-    expression per hop and checks the collected trace at the edge."""
-    rng = random.Random(seed)
-    decls = [f"tele bit<16> {v} = {rng.randrange(0, 1 << 16)};"
-             for v in VARS]
-    decls.append("tele bit<16>[4] trace;")
-    decls.append("header bit<16> sport @ udp.src_port;")
-    decls.append("header bit<16> dport @ udp.dst_port;")
-    init = gen_stmts(rng, rng.randint(0, 2))
-    tele = gen_stmts(rng, rng.randint(0, 2))
-    tele.append(f"trace.push({gen_expr(rng)});")
-    checker = [
-        f"if ({gen_expr(rng, 2)} in trace) {{ {VARS[0]} = 1; }}",
-        "for (t in trace) { " + f"{VARS[1]} = {VARS[1]} + t;" + " }",
-        f"if ({gen_cond(rng)}) {{ reject; }}",
-    ]
-    return "\n".join(
-        decls
-        + ["{", *init, "}"]
-        + ["{", *tele, "}"]
-        + ["{", *checker, "}"]
-    )
+__all__ = ["HDRS", "VARS", "gen_cond", "gen_expr", "gen_multihop_program",
+           "gen_program", "gen_stmts"]

@@ -114,3 +114,47 @@ def test_run_trace_file(tmp_path):
     result = run_trace_file(load_checked("waypointing"), str(trace))
     # No waypoint on the path -> rejected.
     assert not result.accepted
+
+
+def test_run_trace_file_invalid_json(tmp_path):
+    trace = tmp_path / "broken.json"
+    trace.write_text('{"hops": [')
+    with pytest.raises(TraceFormatError) as excinfo:
+        run_trace_file(load_checked("loops"), str(trace))
+    assert "invalid JSON" in str(excinfo.value)
+    assert "broken.json" in str(excinfo.value)
+
+
+def test_trace_must_be_an_object():
+    with pytest.raises(TraceFormatError, match="hops"):
+        run_trace(load_checked("loops"), ["not", "a", "dict"])
+
+
+def test_hops_must_be_a_list():
+    with pytest.raises(TraceFormatError, match="non-empty"):
+        run_trace(load_checked("loops"), {"hops": {"0": {}}})
+
+
+def test_non_dict_hop_reports_its_index():
+    with pytest.raises(TraceFormatError, match="hop 1"):
+        run_trace(load_checked("loops"), {"hops": [{}, "oops"]})
+
+
+def test_malformed_per_hop_controls_rejected():
+    from repro.indus import check, parse
+
+    checked = check(parse("control bit<8> x;\n{ } { } { }"))
+    trace = {"hops": [{"controls": {"x": {"neither": []}}}]}
+    with pytest.raises(TraceFormatError, match="aggregate"):
+        run_trace(checked, trace)
+
+
+def test_on_hop_callback_sees_intermediate_state():
+    from repro.indus import check, parse
+
+    checked = check(parse(
+        "tele bit<16> n = 0;\n{ } { n = n + 1; } { }"))
+    seen = []
+    run_trace(checked, {"hops": [{}, {}, {}]},
+              on_hop=lambda i, state: seen.append((i, state.tele["n"])))
+    assert seen == [(0, 1), (1, 2), (2, 3)]

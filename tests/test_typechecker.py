@@ -123,6 +123,23 @@ def test_builtins_resolve():
     assert "first_hop" in checked.used_builtins
 
 
+def test_last_hop_rejected_in_init_block():
+    # The compiled init block runs at ingress of the first-hop switch,
+    # before the egress port (and hence last-hop status) is known; the
+    # differential oracle caught the interpreter disagreeing with the
+    # data plane here, so the frontend now rejects it outright.
+    check_fails("tele bit<8> x;\n{ if (last_hop) { x = 1; } } { } { }",
+                "init")
+
+
+def test_first_hop_allowed_in_init_block():
+    check_ok("tele bit<8> x;\n{ if (first_hop) { x = 1; } } { } { }")
+
+
+def test_last_hop_allowed_in_telemetry_block():
+    check_ok("tele bit<8> x;\n{ } { if (last_hop) { x = 1; } } { }")
+
+
 def test_condition_must_be_bool():
     check_fails("tele bit<8> x;\n{ } { } { if (x) { reject; } }", "bool")
 
