@@ -1,0 +1,86 @@
+"""Bench guard: the null-registry hot path must stay fast.
+
+Observability is off-by-default-cheap: a switch built with the default
+:data:`~repro.obs.NULL_OBS` must process packets at the same rate as
+before the observability plane existed.  This guard measures the fast
+engine's packets/sec with a *null-registry* Observability handle
+explicitly attached and compares it against a baseline:
+
+* default — regenerate the baseline on this machine first
+  (``measure_pps`` with no handle at all), so the comparison never
+  crosses hardware; this is what CI runs.
+* ``--baseline BENCH_throughput.json`` — compare against the committed
+  benchmark report instead (same-machine development workflow).
+
+Exit code 0 if the attached run is within ``--tolerance`` (default 10%)
+of the baseline, 1 otherwise.
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_guard.py``
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.experiments.bench import _build_switch, measure_pps
+from repro.net.packet import ip, make_udp
+from repro.obs import NULL_OBS
+import time
+
+
+def measure_null_obs_pps(packets: int, repeats: int = 3) -> float:
+    """Fast-engine pps with a null Observability handle attached —
+    the instrumented construction path, the uninstrumented hot path."""
+    sw = _build_switch("fast", obs=NULL_OBS)
+    assert not sw.obs.live
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    for _ in range(packets // 10):
+        sw.process(packet, 1)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(packets):
+            sw.process(packet, 1)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, packets / elapsed)
+    return best
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--packets", type=int, default=5000)
+    parser.add_argument("--tolerance", type=float, default=0.10,
+                        help="allowed fractional slowdown (default 0.10)")
+    parser.add_argument("--baseline", default="",
+                        help="compare against this BENCH_throughput.json "
+                             "instead of re-measuring on this machine")
+    args = parser.parse_args(argv)
+
+    if args.baseline:
+        with open(args.baseline) as handle:
+            baseline_pps = json.load(handle)["engines"]["fast"]["pps"]
+        source = args.baseline
+    else:
+        baseline_pps = measure_pps("fast", packets=args.packets)
+        source = "same-machine remeasure"
+
+    guarded_pps = measure_null_obs_pps(args.packets)
+    ratio = guarded_pps / baseline_pps
+    floor = 1.0 - args.tolerance
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(f"bench guard: baseline {baseline_pps:.0f} pps ({source}), "
+          f"null-registry {guarded_pps:.0f} pps, "
+          f"ratio {ratio:.3f} (floor {floor:.2f}) -> {verdict}")
+    if ratio < floor:
+        print("the null-observability hot path regressed beyond "
+              f"{args.tolerance:.0%}; see docs/INTERNALS.md "
+              "(observability plane)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -9,6 +9,8 @@ Commands:
 * ``fig12``                    — run the Figure 12 RTT experiment
 * ``bench``                    — benchmark the interp vs fast engines
 * ``difftest``                 — three-level differential oracle
+* ``metrics``                  — run a metered deployment, dump metrics
+* ``trace``                    — record + print a packet-lifecycle trace
 * ``ltl "<formula>"``          — compile an LTLf formula to Indus
 """
 
@@ -225,6 +227,78 @@ def cmd_codegen(args: argparse.Namespace) -> int:
     return 0
 
 
+def _traced_run(args: argparse.Namespace):
+    """Run the scenario named by ``args.scenario`` under a fully live
+    Observability handle and return it (registry + tracer populated)."""
+    from .obs import Observability
+
+    obs = Observability.enabled()
+    if args.scenario == "fig12":
+        from .experiments import Fig12Config, run_rtt_experiment
+        from .experiments.fig12 import ALL_CHECKERS
+
+        config = Fig12Config(duration_s=args.duration, engine=args.engine)
+        run_rtt_experiment(ALL_CHECKERS, "traced", config, obs=obs)
+        return obs
+    try:
+        seed = int(args.scenario)
+    except ValueError:
+        raise SystemExit(
+            f"error: scenario must be 'fig12' or a difftest seed "
+            f"(an integer), got {args.scenario!r}")
+    from .compiler import compile_program
+    from .difftest.harness import _build_packet, deploy_scenario
+    from .difftest.scenario import gen_scenario
+
+    scenario = gen_scenario(seed)
+    compiled = compile_program(scenario.source(), name=f"dt{seed}")
+    dep = deploy_scenario(scenario, compiled, engine=args.engine, obs=obs)
+    for spec in scenario.packets:
+        packet = _build_packet(spec, dep.topology, scenario.src_host,
+                               scenario.dst_host)
+        dep.network.host(scenario.src_host).send(packet)
+        dep.network.run()
+    return obs
+
+
+def cmd_metrics(args: argparse.Namespace) -> int:
+    obs = _traced_run(args)
+    if args.json:
+        print(obs.registry.render_json())
+    else:
+        print(obs.registry.render_prometheus(), end="")
+    return 0
+
+
+def _format_event(event) -> str:
+    ts = f"{event.ts * 1e6:10.2f}us" if event.ts is not None else " " * 12
+    port = "" if event.port is None else f" port={event.port}"
+    detail = " ".join(f"{k}={v}" for k, v in sorted(event.detail.items())
+                      if k not in ("state",))
+    return (f"  {ts} {event.kind:12s} {event.node:10s}{port}"
+            + (f"  {detail}" if detail else ""))
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    obs = _traced_run(args)
+    tracer = obs.tracer
+    if args.out:
+        tracer.export_jsonl(args.out)
+        print(f"wrote {tracer.total - tracer.dropped} events "
+              f"({tracer.dropped} dropped by the ring) to {args.out}",
+              file=sys.stderr)
+    if args.follow:
+        for pid in tracer.packet_ids():
+            events = tracer.events(packet_id=pid)
+            print(f"packet {pid} ({len(events)} events):")
+            for event in events:
+                print(_format_event(event))
+    elif not args.out:
+        for line in tracer.to_jsonl_lines():
+            print(line)
+    return 0
+
+
 def cmd_ltl(args: argparse.Namespace) -> int:
     from .ltl import ltl_to_indus_source, parse_formula
 
@@ -323,6 +397,38 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-hop checking (Section 4.3) instead of "
                         "last-hop")
     p.set_defaults(fn=cmd_codegen)
+
+    def add_scenario_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("scenario", nargs="?", default="fig12",
+                       help="'fig12' (default) or a difftest scenario "
+                            "seed (integer)")
+        p.add_argument("--duration", type=float, default=0.02,
+                       help="simulated seconds for the fig12 scenario "
+                            "(default 0.02)")
+        p.add_argument("--engine", default="fast",
+                       choices=["fast", "interp"],
+                       help="switch execution engine (default fast)")
+
+    p = sub.add_parser(
+        "metrics",
+        help="run a scenario with live metrics and print the registry "
+             "(Prometheus text format)")
+    add_scenario_args(p)
+    p.add_argument("--json", action="store_true",
+                   help="JSON dump instead of Prometheus text")
+    p.set_defaults(fn=cmd_metrics)
+
+    p = sub.add_parser(
+        "trace",
+        help="record the packet-lifecycle trace of a scenario "
+             "(JSON-lines, or pretty-printed with --follow)")
+    add_scenario_args(p)
+    p.add_argument("--follow", action="store_true",
+                   help="pretty-print each packet's lifecycle instead "
+                        "of emitting JSON lines")
+    p.add_argument("-o", "--out", default="",
+                   help="write JSON-lines to this file instead of stdout")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("ltl", help="compile an LTLf formula to Indus")
     p.add_argument("formula", help='e.g. "G !(a & X (F a))"')

@@ -1,11 +1,13 @@
 """The three-level differential oracle.
 
 One scenario runs through two full :class:`HydraDeployment` instances on
-the simulator — one per P4 engine (``interp`` and ``fast``) — while a
-per-switch tap records the hop-by-hop context each packet actually
-experienced.  The recorded trace replays through the reference
-:class:`~repro.indus.interp.Monitor` via
-:func:`repro.runtime.tracecheck.run_trace`, and the oracle asserts that
+the simulator — one per P4 engine (``interp`` and ``fast``) — with a
+live :class:`~repro.obs.trace.Tracer` attached; the canonical ``parse``
+events of the observability plane record the hop-by-hop context each
+packet actually experienced.  The recorded trace replays through the
+reference :class:`~repro.indus.interp.Monitor` via
+:func:`repro.runtime.tracecheck.run_trace` (whose ``monitor_hop``
+events feed the telemetry comparison), and the oracle asserts that
 all three levels agree on:
 
 * the **verdict** (packet delivered vs. rejected at the last hop),
@@ -30,6 +32,7 @@ from ..compiler import compile_program
 from ..compiler.codegen import CompiledChecker
 from ..indus import ast
 from ..net.packet import Packet, ip, make_tcp, make_udp
+from ..obs import Observability, Tracer
 from ..p4 import ir
 from ..p4.programs import l2_port_forwarding
 from ..runtime.deployment import HydraDeployment
@@ -71,7 +74,7 @@ class ScenarioResult:
 
 @dataclass
 class _HopRecord:
-    """What the tap saw when a packet entered one switch."""
+    """What a ``parse`` trace event saw when a packet entered a switch."""
 
     switch: str
     ingress_port: int
@@ -169,7 +172,7 @@ def _tele_snapshot(state) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
-# Deployment-side execution with the hop tap
+# Deployment-side execution, observed through the canonical trace stream
 # ---------------------------------------------------------------------------
 
 @dataclass
@@ -189,14 +192,19 @@ def _serialize_headers(packet: Packet) -> list:
     return [(h.htype.name, h.to_bits()) for h in packet.headers if h.valid]
 
 
-def _run_engine(scenario: Scenario, compiled: CompiledChecker,
-                engine: str) -> _EngineRun:
+def deploy_scenario(scenario: Scenario, compiled: CompiledChecker,
+                    engine: str = "fast",
+                    obs: Optional[Observability] = None) -> HydraDeployment:
+    """Build the deployment a scenario describes: topology, forwarding
+    entries along the computed path, and control values.  Shared by the
+    oracle (one deployment per engine) and the CLI trace surface."""
     topology = scenario.build_topology()
     rng = random.Random(scenario.seed)
     path = compute_path(topology, scenario.src_host, scenario.dst_host, rng)
     forwarding = {name: l2_port_forwarding(f"l2_{name}")
                   for name in topology.switches}
-    dep = HydraDeployment(topology, compiled, forwarding, engine=engine)
+    dep = HydraDeployment(topology, compiled, forwarding, engine=engine,
+                          obs=obs)
     for sw, entries in forwarding_entries(
             topology, scenario.src_host, scenario.dst_host, path).items():
         for in_port, out_port in entries:
@@ -204,26 +212,38 @@ def _run_engine(scenario: Scenario, compiled: CompiledChecker,
                 "fwd_table", [in_port], "fwd_set_egress", [out_port])
     for name, value in scenario.controls.items():
         dep.set_control(name, value)
+    return dep
+
+
+def _run_engine(scenario: Scenario, compiled: CompiledChecker,
+                engine: str, registry=None) -> _EngineRun:
+    # Every engine run gets its own tracer: its canonical `parse` events
+    # (one per switch-entry, carrying the live pre-pipeline packet) are
+    # the oracle's record of what each hop saw.
+    tracer = Tracer()
+    obs = Observability(registry=registry, tracer=tracer)
+    dep = deploy_scenario(scenario, compiled, engine=engine, obs=obs)
+    topology = dep.topology
 
     bindings = _header_bindings(compiled)
     records: List[_HopRecord] = []
-    for sw_name, bmv2 in dep.switches.items():
-        original = bmv2.process
 
-        def tapped(packet, ingress_port, _orig=original, _name=sw_name):
-            records.append(_HopRecord(
-                switch=_name,
-                ingress_port=ingress_port,
-                packet_length=packet.length,
-                header_values={
-                    var: _resolve_header(binding, packet, ingress_port)
-                    for var, binding in bindings.items()
-                },
-                hydra=_decode_hydra(compiled, packet),
-            ))
-            return _orig(packet, ingress_port)
+    def on_event(event) -> None:
+        if event.kind != "parse":
+            return
+        packet = event.packet
+        records.append(_HopRecord(
+            switch=event.node,
+            ingress_port=event.port,
+            packet_length=event.detail["packet_length"],
+            header_values={
+                var: _resolve_header(binding, packet, event.port)
+                for var, binding in bindings.items()
+            },
+            hydra=_decode_hydra(compiled, packet),
+        ))
 
-        bmv2.process = tapped
+    tracer.subscribe(on_event)
 
     run = _EngineRun()
     dst = dep.network.host(scenario.dst_host)
@@ -283,12 +303,14 @@ def _build_trace(scenario: Scenario, topology,
 
 def run_scenario(scenario: Scenario,
                  mutate: Optional[Callable[[CompiledChecker], Any]] = None,
-                 ) -> ScenarioResult:
+                 registry=None) -> ScenarioResult:
     """Run one scenario through all three levels and compare.
 
     ``mutate``, when given, is applied to the compiled checker before
     deployment — the injected-bug hook used to validate that the oracle
-    actually catches compiler defects.
+    actually catches compiler defects.  ``registry``, when given, is a
+    live metrics registry shared by both engine deployments (the
+    verdicts must be identical with or without it).
     """
     result = ScenarioResult(scenario=scenario)
 
@@ -310,7 +332,8 @@ def run_scenario(scenario: Scenario,
     runs: Dict[str, _EngineRun] = {}
     for engine in ENGINES:
         try:
-            runs[engine] = _run_engine(scenario, compiled, engine)
+            runs[engine] = _run_engine(scenario, compiled, engine,
+                                       registry=registry)
         except Exception as exc:
             return fail("engine", f"{engine} deployment crashed: {exc!r}")
 
@@ -343,9 +366,13 @@ def run_scenario(scenario: Scenario,
             return fail("verdict", "packet never reached a switch", i)
         trace = _build_trace(scenario, topology, hops)
         snapshots: List[Dict[str, Any]] = []
-        trace_result = run_trace(
-            checked, trace,
-            on_hop=lambda _i, state: snapshots.append(_tele_snapshot(state)))
+        mon_tracer = Tracer()
+        mon_tracer.subscribe(
+            lambda ev: snapshots.append(_tele_snapshot(ev.detail["state"]))
+            if ev.kind == "monitor_hop" else None)
+        trace_result = run_trace(checked, trace,
+                                 obs=Observability(tracer=mon_tracer),
+                                 packet_id=i)
         result.packets_run += 1
 
         # Verdict: delivered iff the monitor accepted.

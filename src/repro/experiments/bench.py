@@ -14,11 +14,15 @@ Entry points: ``python benchmarks/run_bench.py`` or
 from __future__ import annotations
 
 import json
+import platform
+import subprocess
 import time
+from datetime import datetime, timezone
 from typing import Any, Dict, Optional
 
 from ..compiler import compile_program, standalone_program
 from ..net.packet import ip, make_udp
+from ..obs import MetricsRegistry, Observability
 from ..p4.bmv2 import Bmv2Switch
 from ..properties import load_source
 from .throughput import run_replay
@@ -26,14 +30,63 @@ from .throughput import run_replay
 ENGINES = ("interp", "fast")
 
 
-def _build_switch(engine: str) -> Bmv2Switch:
+def _build_switch(engine: str,
+                  obs: Optional[Observability] = None) -> Bmv2Switch:
     compiled = compile_program(load_source("loops"), name="loops")
     program = standalone_program(compiled)
-    sw = Bmv2Switch(program, name="s1", engine=engine)
+    sw = Bmv2Switch(program, name="s1", engine=engine, obs=obs)
     sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
     sw.insert_entry(compiled.inject_table, [1], compiled.mark_first_action)
     sw.insert_entry(compiled.strip_table, [2], compiled.mark_last_action)
     return sw
+
+
+def _git_commit() -> Optional[str]:
+    try:
+        out = subprocess.run(["git", "rev-parse", "HEAD"],
+                             capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    commit = out.stdout.strip()
+    return commit if out.returncode == 0 and commit else None
+
+
+def bench_meta() -> Dict[str, Any]:
+    """Provenance stamp: which code produced these numbers, when, where."""
+    return {
+        "commit": _git_commit(),
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def metered_snapshot(packets: int = 2000) -> Dict[str, Any]:
+    """A short metered run of the fast engine with a *live* registry:
+    the metrics snapshot stamped into the benchmark report.  The timed
+    measurement itself always runs with the null registry — this run is
+    separate, so observability cost never leaks into the pps numbers."""
+    registry = MetricsRegistry()
+    sw = _build_switch("fast", obs=Observability(registry=registry))
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    for _ in range(packets):
+        sw.process(packet, 1)
+    dump = registry.to_dict()
+    series = dump.get("table_lookups_total", {}).get("series", [])
+    hits = sum(s["value"] for s in series
+               if s["labels"].get("result") == "hit")
+    total = sum(s["value"] for s in series)
+    ns_series = dump.get("fastpath_ns_per_packet", {}).get("series", [])
+    return {
+        "packets": packets,
+        "table_lookups_total": total,
+        "table_hit_ratio": round(hits / total, 4) if total else None,
+        "fastpath_ns_per_packet_mean":
+            round(ns_series[0]["mean"], 1) if ns_series else None,
+        "switch_packets_dropped_total": sum(
+            s["value"] for s in
+            dump.get("switch_packets_dropped_total", {}).get("series", [])),
+    }
 
 
 def measure_pps(engine: str, packets: int = 5000, warmup: int = 500,
@@ -61,11 +114,17 @@ def run_bench(packets: int = 5000, replay: bool = True,
     """The full benchmark; optionally writes the JSON report."""
     result: Dict[str, Any] = {"benchmark": "switch_processing_rate",
                               "program": "loops (linked standalone)",
+                              "meta": bench_meta(),
+                              # Timed runs use the default null registry:
+                              # the pps numbers measure the unobserved
+                              # hot path (what the bench guard defends).
+                              "observability": "null registry (off)",
                               "engines": {}}
     for engine in ENGINES:
         pps = measure_pps(engine, packets=packets)
         result["engines"][engine] = {"pps": round(pps, 1),
                                      "us_per_packet": round(1e6 / pps, 2)}
+    result["metrics_snapshot"] = metered_snapshot()
     result["speedup"] = round(
         result["engines"]["fast"]["pps"] /
         result["engines"]["interp"]["pps"], 2)

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Tuple
 from ..aether.upf import upf_program
 from ..net.simulator import Network
 from ..net.topology import Topology, leaf_spine
+from ..obs import NULL_OBS, Observability, profiled
 from ..p4.bmv2 import Bmv2Switch
 from ..properties import TABLE1_ORDER, compile_suite
 from ..runtime.deployment import HydraDeployment
@@ -73,29 +74,32 @@ class Fig12Result:
 
 
 def build_fabric(checkers: Optional[List[str]],
-                 config: Fig12Config) -> Tuple[Network,
-                                               Optional[HydraDeployment]]:
+                 config: Fig12Config,
+                 obs: Optional[Observability] = None,
+                 ) -> Tuple[Network, Optional[HydraDeployment]]:
     """The Aether fabric (2x2 leaf-spine running fabric-upf), with or
     without a full suite of Hydra checkers linked in."""
+    obs = obs if obs is not None else NULL_OBS
     topology = leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2,
                           bandwidth_bps=config.link_bandwidth_bps)
     forwarding = {name: upf_program(f"fabric_upf_{name}")
                   for name in topology.switches}
     deployment: Optional[HydraDeployment] = None
     if checkers:
-        compiled = compile_suite(checkers)
+        with profiled(obs.registry, "compile"):
+            compiled = compile_suite(checkers)
         deployment = HydraDeployment(topology, compiled, forwarding,
-                                     engine=config.engine)
+                                     engine=config.engine, obs=obs)
         network = deployment.network
         switches = deployment.switches
     else:
         switches = {
             name: Bmv2Switch(forwarding[name], name=name,
                              switch_id=spec.switch_id,
-                             engine=config.engine)
+                             engine=config.engine, obs=obs)
             for name, spec in topology.switches.items()
         }
-        network = Network(topology, switches)
+        network = Network(topology, switches, obs=obs)
     install_fabric_routes(topology, switches)
     if deployment is not None:
         configure_checker_controls(deployment, topology)
@@ -188,10 +192,11 @@ def configure_checker_controls(deployment: HydraDeployment,
 
 
 def run_rtt_experiment(checkers: Optional[List[str]], label: str,
-                       config: Optional[Fig12Config] = None) -> RttRun:
+                       config: Optional[Fig12Config] = None,
+                       obs: Optional[Observability] = None) -> RttRun:
     """One arm of Figure 12: load + ping, returns the RTT series."""
     config = config or Fig12Config()
-    network, _ = build_fabric(checkers, config)
+    network, _ = build_fabric(checkers, config, obs=obs)
     # Background load: h1<->h3 and h2<->h4, crossing the spines via ECMP.
     for i, (a, b) in enumerate((("h1", "h3"), ("h2", "h4"))):
         UdpLoadGenerator(network, a, b, config.load_bps_per_pair,

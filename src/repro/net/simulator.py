@@ -20,6 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from ..obs import NULL_OBS, Observability
 from ..p4.bmv2 import (DEFAULT_LOG_CAPACITY, Bmv2Switch, BoundedLog,
                        DigestMessage)
 from .packet import Packet
@@ -143,10 +144,33 @@ class Network:
                  switch_programs: Dict[str, Bmv2Switch],
                  stage_counts: Optional[Dict[str, int]] = None,
                  serialize_on_wire: bool = False,
-                 report_capacity: int = DEFAULT_LOG_CAPACITY):
+                 report_capacity: int = DEFAULT_LOG_CAPACITY,
+                 obs: Optional[Observability] = None,
+                 max_queue_delay_s: Optional[float] = None):
         self.topology = topology
         self.serialize_on_wire = serialize_on_wire
         self.sim = Simulator()
+        self.obs = obs if obs is not None else NULL_OBS
+        # A port/NIC whose FIFO backlog exceeds this wait is "full" and
+        # drops the packet (reason=queue_full).  None = unbounded FIFO,
+        # the historical behaviour.
+        self.max_queue_delay_s = max_queue_delay_s
+        self._trace = self.obs.tracer.live
+        self._metrics = self.obs.registry.live
+        if self._trace and self.obs.tracer.clock is None:
+            # Trace events carry simulator time, not wall-clock time.
+            self.obs.tracer.clock = lambda: self.sim.now
+        if self._metrics:
+            reg = self.obs.registry
+            self._m_qdrops = reg.counter(
+                "queue_drops_total",
+                "packets dropped by the network layer",
+                labels=("node", "reason"))
+            self._m_delivered = reg.counter(
+                "packets_delivered_total", "packets delivered to hosts",
+                labels=("host",))
+            self._g_simtime = reg.gauge(
+                "sim_time_seconds", "current simulator time")
         self.hosts: Dict[str, Host] = {
             name: Host(name, self) for name in topology.hosts
         }
@@ -161,11 +185,19 @@ class Network:
             )
         # Bounded: long replays keep a ring of recent reports plus the
         # cumulative count (``reports.total``) instead of growing forever.
-        self.reports: BoundedLog = BoundedLog(report_capacity)
+        self.reports: BoundedLog = BoundedLog(
+            report_capacity, on_evict=self._on_report_evict)
         for device in self.switches.values():
             device.bmv2.on_digest(self.reports.append)
         self.packets_delivered = 0
         self.packets_lost = 0
+
+    def _on_report_evict(self, count: int) -> None:
+        if self._metrics:
+            self.obs.registry.counter(
+                "log_evictions_total",
+                "entries evicted from bounded ring logs",
+                labels=("log", "node")).labels("reports", "network").inc(count)
 
     # -- transmission ------------------------------------------------------------
 
@@ -182,23 +214,49 @@ class Network:
         # Serialization queueing at the sending side.
         if src.node in self.switches:
             device = self.switches[src.node]
-            start = max(self.sim.now, device.port_busy_until.get(src.port, 0.0))
-            device.port_busy_until[src.port] = start + tx_time
-            device.bytes_forwarded += packet.length
-            ready = start + tx_time
+            busy_until = device.port_busy_until.get(src.port, 0.0)
         else:
             # Hosts serialize through their NIC FIFO exactly like a
             # switch output port: back-to-back sends queue behind the
             # in-flight transmission rather than bypassing it.
-            host = self.hosts[src.node]
-            start = max(self.sim.now, host.nic_busy_until)
-            host.nic_busy_until = start + tx_time
-            ready = start + tx_time
+            busy_until = self.hosts[src.node].nic_busy_until
+        start = max(self.sim.now, busy_until)
+        queue_wait = start - self.sim.now
+        if (self.max_queue_delay_s is not None
+                and queue_wait > self.max_queue_delay_s):
+            self._drop(src.node, packet, "queue_full", port=src.port,
+                       queue_wait_s=queue_wait)
+            return
+        if src.node in self.switches:
+            device = self.switches[src.node]
+            device.port_busy_until[src.port] = start + tx_time
+            device.bytes_forwarded += packet.length
+        else:
+            self.hosts[src.node].nic_busy_until = start + tx_time
+        ready = start + tx_time
+        if self._trace:
+            self.obs.tracer.emit(
+                "enqueue", src.node, packet.packet_id, port=src.port,
+                packet=packet, queue_wait_s=queue_wait)
+            self.obs.tracer.emit(
+                "link", src.node, packet.packet_id, port=src.port,
+                packet=packet, dst=dst.node, dst_port=dst.port,
+                tx_time_s=tx_time, latency_s=link.latency_s)
         if self.serialize_on_wire:
             packet = self._wire_roundtrip(packet)
         arrival_delay = (ready - self.sim.now) + link.latency_s
         self.sim.schedule(arrival_delay,
                           lambda: self._arrive(dst, packet))
+
+    def _drop(self, node: str, packet: Packet, reason: str,
+              port: Optional[int] = None, **detail: float) -> None:
+        """Account a network-layer drop (queue overflow, routing hole)."""
+        self.packets_lost += 1
+        if self._metrics:
+            self._m_qdrops.labels(node, reason).inc()
+        if self._trace:
+            self.obs.tracer.emit("drop", node, packet.packet_id, port=port,
+                                 packet=packet, reason=reason, **detail)
 
     @staticmethod
     def _wire_roundtrip(packet: Packet) -> Packet:
@@ -220,6 +278,11 @@ class Network:
     def _arrive(self, end: Endpoint, packet: Packet) -> None:
         if end.node in self.hosts:
             self.packets_delivered += 1
+            if self._metrics:
+                self._m_delivered.labels(end.node).inc()
+            if self._trace:
+                self.obs.tracer.emit("deliver", end.node, packet.packet_id,
+                                     port=end.port, packet=packet)
             self.hosts[end.node].deliver(packet)
             return
         device = self.switches[end.node]
@@ -232,12 +295,16 @@ class Network:
                  ingress_port: int) -> None:
         outputs = device.bmv2.process(packet, ingress_port)
         if not outputs:
+            # The switch's own instrumentation emits the drop event
+            # (reason=ttl|pipeline) — it knows the verdict; the network
+            # only keeps the aggregate loss counter.
             self.packets_lost += 1
             return
         for egress_port, out_packet in outputs:
             link = self.topology.link_at(device.name, egress_port)
             if link is None:
-                self.packets_lost += 1
+                self._drop(device.name, out_packet, "no_route",
+                           port=egress_port)
                 continue
             self._send_over(link, Endpoint(device.name, egress_port),
                             out_packet)
@@ -252,3 +319,5 @@ class Network:
 
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until)
+        if self._metrics:
+            self._g_simtime.labels().set(self.sim.now)

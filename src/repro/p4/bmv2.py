@@ -15,12 +15,15 @@ to identical observable behavior.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
                     Union)
 
 from ..net.packet import Header, Packet
+from ..obs import NULL_OBS, Observability
+from ..obs.metrics import DEFAULT_NS_BUCKETS
 from . import ir
 
 
@@ -42,17 +45,22 @@ class BoundedLog:
     Looks like a list for the common read patterns (``len``, iteration,
     indexing, slicing, ``==`` against a list) but only retains the last
     ``capacity`` entries; ``total`` counts every append ever made and
-    ``dropped`` says how many fell off the front.
+    ``dropped`` says how many fell off the front.  ``on_evict``, when
+    given, is called with the count of entries just rotated out (always
+    1 per overflowing append) — the observability plane uses it to
+    surface silent evictions as ``log_evictions_total``.
     """
 
-    __slots__ = ("capacity", "total", "_ring")
+    __slots__ = ("capacity", "total", "_ring", "_on_evict")
 
-    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY):
+    def __init__(self, capacity: int = DEFAULT_LOG_CAPACITY,
+                 on_evict: Optional[Callable[[int], None]] = None):
         if capacity <= 0:
             raise ValueError("log capacity must be positive")
         self.capacity = capacity
         self.total = 0
         self._ring: deque = deque(maxlen=capacity)
+        self._on_evict = on_evict
 
     @property
     def dropped(self) -> int:
@@ -60,7 +68,10 @@ class BoundedLog:
 
     def append(self, item: Any) -> None:
         self.total += 1
+        evicting = len(self._ring) == self.capacity
         self._ring.append(item)
+        if evicting and self._on_evict is not None:
+            self._on_evict(1)
 
     def clear(self) -> None:
         self.total = 0
@@ -89,7 +100,7 @@ class BoundedLog:
 
     def __repr__(self) -> str:
         return (f"BoundedLog({list(self._ring)!r}, total={self.total}, "
-                f"capacity={self.capacity})")
+                f"evicted={self.dropped}, capacity={self.capacity})")
 
 
 @dataclass
@@ -188,6 +199,20 @@ def _pop_source_route(ctx: "PacketContext") -> None:
     ctx.hdr[valid[-1]].valid = False
 
 
+def drop_reason(packet: Packet) -> str:
+    """Classify a pipeline drop for the observability plane.
+
+    A heuristic label, not ground truth: a packet whose IPv4 TTL is
+    exhausted on arrival is tagged ``ttl``; every other pipeline
+    decision (table default drop, missing route entry, checker reject)
+    is ``pipeline``.
+    """
+    ipv4 = packet.find("ipv4")
+    if ipv4 is not None and ipv4.valid and ipv4.get("ttl") <= 1:
+        return "ttl"
+    return "pipeline"
+
+
 class Bmv2Switch:
     """Executes a P4 program; holds runtime table/register state.
 
@@ -195,11 +220,16 @@ class Bmv2Switch:
     compiles the program once to Python closures with indexed table
     lookup (:mod:`repro.p4.fastpath`); ``"interp"`` walks the IR tree
     per packet and serves as the reference semantics.
+
+    ``obs`` attaches the observability plane (:mod:`repro.obs`); the
+    default :data:`~repro.obs.NULL_OBS` keeps packet processing exactly
+    as cheap as an uninstrumented switch.
     """
 
     def __init__(self, program: ir.P4Program, name: str = "s1",
                  switch_id: int = 0, engine: str = "fast",
-                 digest_capacity: int = DEFAULT_LOG_CAPACITY):
+                 digest_capacity: int = DEFAULT_LOG_CAPACITY,
+                 obs: Optional[Observability] = None):
         if engine not in ("fast", "interp"):
             raise ValueError(f"unknown engine {engine!r} "
                              "(expected 'fast' or 'interp')")
@@ -226,17 +256,70 @@ class Bmv2Switch:
             for name, table in program.tables.items()
         }
         self.digest_listeners: List[Callable[[DigestMessage], None]] = []
-        self.digests = BoundedLog(digest_capacity)
+        self.digests = BoundedLog(digest_capacity,
+                                  on_evict=self._on_digest_evict)
         # Statistics for the evaluation harness.
         self.packets_processed = 0
         self.packets_dropped = 0
         # Copy elision: a program that provably never mutates headers can
         # run on a packet shell sharing the original Header instances.
         self._share_headers = not ir.mutates_headers(program)
+        self.obs = NULL_OBS
+        self._obs_live = False
+        if obs is not None:
+            self._bind_observability(obs)
         self._fast = None
         if engine == "fast":
             from .fastpath import FastPath  # deferred: fastpath imports us
             self._fast = FastPath(program, self)
+
+    # ==================================================================
+    # Observability
+    # ==================================================================
+
+    def _bind_observability(self, obs: Observability) -> None:
+        self.obs = obs
+        self._obs_live = obs.live
+        if not self._obs_live:
+            return
+        registry = obs.registry
+        self._m_packets = registry.counter(
+            "switch_packets_total", "packets entering a pipeline",
+            labels=("switch", "port"))
+        self._m_dropped = registry.counter(
+            "switch_packets_dropped_total",
+            "packets discarded by a pipeline",
+            labels=("switch", "reason"))
+        self._m_table = registry.counter(
+            "table_lookups_total", "table applies by outcome",
+            labels=("switch", "table", "result"))
+        name = ("fastpath_ns_per_packet" if self.engine == "fast"
+                else "interp_ns_per_packet")
+        self._m_ns = registry.histogram(
+            name, f"{self.engine} engine nanoseconds per packet",
+            buckets=DEFAULT_NS_BUCKETS)
+
+    def attach_observability(self, obs: Observability) -> None:
+        """Attach (or detach, with :data:`~repro.obs.NULL_OBS`) the
+        observability plane.
+
+        The fast engine recompiles so instrumentation is specialized at
+        compile time — with a null handle the generated closures are
+        byte-for-byte the uninstrumented ones and the hot path pays
+        nothing.
+        """
+        self._bind_observability(obs)
+        if self.engine == "fast":
+            from .fastpath import FastPath
+            self._fast = FastPath(self.program, self)
+
+    def _on_digest_evict(self, count: int) -> None:
+        # Rare (ring overflow only): route through whatever registry is
+        # attached at eviction time; the null registry no-ops.
+        self.obs.registry.counter(
+            "log_evictions_total",
+            "entries rotated out of bounded message logs",
+            labels=("log", "node")).labels("digests", self.name).inc(count)
 
     # ==================================================================
     # Control-plane (P4Runtime-like) API
@@ -340,6 +423,37 @@ class Bmv2Switch:
         """
         if self._fast is not None:
             return self._fast.process(packet, ingress_port)
+        if self._obs_live:
+            return self._process_interp_obs(packet, ingress_port)
+        return self._process_interp(packet, ingress_port)
+
+    def _process_interp_obs(self, packet: Packet,
+                            ingress_port: int) -> List[Tuple[int, Packet]]:
+        """The interp path with metrics + trace events wrapped around."""
+        tracer = self.obs.tracer
+        if tracer.live:
+            tracer.emit("parse", node=self.name,
+                        packet_id=packet.packet_id, port=ingress_port,
+                        packet=packet, packet_length=packet.length)
+        self._m_packets.labels(self.name, ingress_port).inc()
+        start = time.perf_counter_ns()
+        outputs = self._process_interp(packet, ingress_port)
+        self._m_ns.observe(time.perf_counter_ns() - start)
+        if not outputs:
+            reason = drop_reason(packet)
+            self._m_dropped.labels(self.name, reason).inc()
+            if tracer.live:
+                tracer.emit("drop", node=self.name,
+                            packet_id=packet.packet_id, reason=reason)
+        elif tracer.live:
+            for egress_port, out_packet in outputs:
+                tracer.emit("deparse", node=self.name,
+                            packet_id=out_packet.packet_id,
+                            port=egress_port, egress_port=egress_port)
+        return outputs
+
+    def _process_interp(self, packet: Packet,
+                        ingress_port: int) -> List[Tuple[int, Packet]]:
         self.packets_processed += 1
         work = (packet.copy_shared() if self._share_headers
                 else packet.copy())
@@ -469,6 +583,10 @@ class Bmv2Switch:
                 switch_name=self.name,
             )
             self.digests.append(message)
+            if self._obs_live and self.obs.tracer.live:
+                self.obs.tracer.emit("digest", node=self.name,
+                                     packet_id=ctx.packet.packet_id,
+                                     digest=stmt.name)
             for listener in self.digest_listeners:
                 listener(message)
             return
@@ -511,6 +629,9 @@ class Bmv2Switch:
                 continue
             if best is None or self._beats(table, entry, best):
                 best = entry
+        if self._obs_live:
+            self._observe_apply(name, "hit" if best is not None else "miss",
+                                ctx)
         if best is not None:
             self._run_action(best.action, best.args, ctx)
             return True
@@ -519,6 +640,15 @@ class Bmv2Switch:
             action, args = default
             self._run_action(action, args, ctx)
         return False
+
+    def _observe_apply(self, table: str, result: str,
+                       ctx: PacketContext) -> None:
+        self._m_table.labels(self.name, table, result).inc()
+        tracer = self.obs.tracer
+        if tracer.live:
+            tracer.emit("apply", node=self.name,
+                        packet_id=ctx.packet.packet_id,
+                        table=table, result=result)
 
     @staticmethod
     def _beats(table: ir.Table, a: ir.TableEntry, b: ir.TableEntry) -> bool:

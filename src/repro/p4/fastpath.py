@@ -37,6 +37,7 @@ Control-plane state must be mutated through the ``Bmv2Switch`` API
 from __future__ import annotations
 
 import operator
+import time
 from collections import deque
 
 _CMP_OPS = {
@@ -52,7 +53,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 from ..net.packet import Header, Packet
 from . import ir
 from .bmv2 import (DROP_PORT, DigestMessage, P4RuntimeError, PacketContext,
-                   StandardMetadata, _pop_source_route)
+                   StandardMetadata, _pop_source_route, drop_reason)
 
 # Compiled callables: expressions return ints, statements return None,
 # writers take (ctx, value).
@@ -268,11 +269,24 @@ class _TableIndex:
 
 
 class FastPath:
-    """One program compiled to closures, executing for one switch."""
+    """One program compiled to closures, executing for one switch.
+
+    Observability is specialized at compile time: when the switch's
+    ``obs`` handle is live the compiler emits instrumented apply/digest
+    closures and swaps :meth:`process` for the metered variant; when it
+    is the null handle (the default) the generated closures are exactly
+    the uninstrumented ones — the hot path carries zero residue.
+    """
 
     def __init__(self, program: ir.P4Program, switch):
         self.program = program
         self.switch = switch
+        self._obs = switch.obs
+        self._instrumented = self._obs.live
+        if self._instrumented:
+            # Shadow the plain method with the metered one (instance
+            # attribute wins over the class method at lookup time).
+            self.process = self._process_obs
         self._meta_template: Dict[str, int] = {
             name: 0 for name, _ in program.metadata
         }
@@ -594,6 +608,25 @@ class FastPath:
         if isinstance(stmt, ir.Digest):
             fields = tuple(self._compile_expr(e) for e in stmt.fields)
             switch = self.switch
+            if self._instrumented:
+                tracer = self._obs.tracer
+
+                def digest_obs(ctx, _name=stmt.name, _fields=fields,
+                               _sw=switch, _tr=tracer):
+                    message = DigestMessage(
+                        name=_name,
+                        values=[fn(ctx) for fn in _fields],
+                        switch_name=_sw.name,
+                    )
+                    _sw.digests.append(message)
+                    if _tr.live:
+                        _tr.emit("digest", node=_sw.name,
+                                 packet_id=ctx.packet.packet_id,
+                                 digest=_name)
+                    for listener in _sw.digest_listeners:
+                        listener(message)
+
+                return digest_obs
 
             def digest(ctx, _name=stmt.name, _fields=fields, _sw=switch):
                 message = DigestMessage(
@@ -660,6 +693,43 @@ class FastPath:
 
             def make_key(ctx, _readers=readers):
                 return tuple(read(ctx) for read in _readers)
+
+        if self._instrumented:
+            tracer = self._obs.tracer
+            table_counter = self._obs.registry.counter(
+                "table_lookups_total", "table applies by outcome",
+                labels=("switch", "table", "result"))
+            hit_c = table_counter.labels(self.switch.name, stmt.table, "hit")
+            miss_c = table_counter.labels(self.switch.name, stmt.table,
+                                          "miss")
+            sw_name = self.switch.name
+            tname = stmt.table
+
+            def apply_table_obs(ctx, _idx=index, _key=make_key,
+                                _hit=hit_body, _miss=miss_body,
+                                _hc=hit_c, _mc=miss_c, _tr=tracer,
+                                _sw=sw_name, _tn=tname):
+                bound = _idx.lookup(_key(ctx))
+                if bound is not None:
+                    _hc.inc()
+                    if _tr.live:
+                        _tr.emit("apply", node=_sw,
+                                 packet_id=ctx.packet.packet_id,
+                                 table=_tn, result="hit")
+                    bound(ctx)
+                    _hit(ctx)
+                else:
+                    _mc.inc()
+                    if _tr.live:
+                        _tr.emit("apply", node=_sw,
+                                 packet_id=ctx.packet.packet_id,
+                                 table=_tn, result="miss")
+                    default = _idx.default_bound()
+                    if default is not None:
+                        default(ctx)
+                    _miss(ctx)
+
+            return apply_table_obs
 
         def apply_table(ctx, _idx=index, _key=make_key,
                         _hit=hit_body, _miss=miss_body):
@@ -816,3 +886,31 @@ class FastPath:
             return []
 
         return [(standard.egress_port, self._deparse(ctx))]
+
+    def _process_obs(self, packet: Packet,
+                     ingress_port: int) -> List[Tuple[int, Packet]]:
+        """The metered process(): metrics + trace events around the same
+        pipeline.  Installed as the instance's ``process`` only when the
+        switch's observability handle is live."""
+        switch = self.switch
+        tracer = self._obs.tracer
+        if tracer.live:
+            tracer.emit("parse", node=switch.name,
+                        packet_id=packet.packet_id, port=ingress_port,
+                        packet=packet, packet_length=packet.length)
+        switch._m_packets.labels(switch.name, ingress_port).inc()
+        start = time.perf_counter_ns()
+        outputs = FastPath.process(self, packet, ingress_port)
+        switch._m_ns.observe(time.perf_counter_ns() - start)
+        if not outputs:
+            reason = drop_reason(packet)
+            switch._m_dropped.labels(switch.name, reason).inc()
+            if tracer.live:
+                tracer.emit("drop", node=switch.name,
+                            packet_id=packet.packet_id, reason=reason)
+        elif tracer.live:
+            for egress_port, out_packet in outputs:
+                tracer.emit("deparse", node=switch.name,
+                            packet_id=out_packet.packet_id,
+                            port=egress_port, egress_port=egress_port)
+        return outputs

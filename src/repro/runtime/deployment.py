@@ -19,6 +19,7 @@ from ..indus import ast
 from ..indus.types import DictType, SetType
 from ..net.simulator import Network
 from ..net.topology import EDGE, Topology
+from ..obs import NULL_OBS, Observability, profiled
 from ..p4 import ir
 from ..p4.bmv2 import Bmv2Switch
 from .reports import HydraReport, ReportCollector
@@ -60,31 +61,48 @@ class HydraDeployment:
                  stage_counts: Optional[Dict[str, int]] = None,
                  check_mode: str = "last_hop",
                  serialize_on_wire: bool = False,
-                 engine: str = "fast"):
+                 engine: str = "fast",
+                 obs: Optional[Observability] = None,
+                 max_queue_delay_s: Optional[float] = None):
         self.topology = topology
         self.check_mode = check_mode
+        self.obs = obs if obs is not None else NULL_OBS
         self.compileds: List[CompiledChecker] = (
             [compiled] if isinstance(compiled, CompiledChecker)
             else list(compiled)
         )
         self.collector = ReportCollector(self.compileds)
+        if self.obs.registry.live:
+            violations = self.obs.registry.counter(
+                "checker_violations_total",
+                "violation reports raised by deployed checkers",
+                labels=("checker", "switch"))
+            self.collector.subscribe(
+                lambda r: violations.labels(r.checker, r.switch_name).inc())
         self.switches: Dict[str, Bmv2Switch] = {}
         self.linked: Dict[str, ir.P4Program] = {}
-        for name, spec in topology.switches.items():
-            if name not in forwarding:
-                raise ValueError(f"no forwarding program for switch {name!r}")
-            program = link(forwarding[name], self.compileds, role=spec.role,
-                           check_mode=check_mode)
-            bmv2 = Bmv2Switch(program, name=name, switch_id=spec.switch_id,
-                              engine=engine)
-            bmv2.on_digest(self.collector.on_digest)
-            self.switches[name] = bmv2
-            self.linked[name] = program
-        self._install_edge_entries()
-        self._install_switch_ids()
-        self.network = Network(topology, self.switches,
-                               stage_counts=stage_counts,
-                               serialize_on_wire=serialize_on_wire)
+        with profiled(self.obs.registry, "link"):
+            for name, spec in topology.switches.items():
+                if name not in forwarding:
+                    raise ValueError(
+                        f"no forwarding program for switch {name!r}")
+                program = link(forwarding[name], self.compileds,
+                               role=spec.role, check_mode=check_mode)
+                self.linked[name] = program
+        with profiled(self.obs.registry, "deploy"):
+            for name, spec in topology.switches.items():
+                bmv2 = Bmv2Switch(self.linked[name], name=name,
+                                  switch_id=spec.switch_id, engine=engine,
+                                  obs=self.obs)
+                bmv2.on_digest(self.collector.on_digest)
+                self.switches[name] = bmv2
+            self._install_edge_entries()
+            self._install_switch_ids()
+            self.network = Network(topology, self.switches,
+                                   stage_counts=stage_counts,
+                                   serialize_on_wire=serialize_on_wire,
+                                   obs=self.obs,
+                                   max_queue_delay_s=max_queue_delay_s)
 
     @property
     def compiled(self) -> CompiledChecker:
@@ -284,7 +302,7 @@ class HydraDeployment:
                 reports_by_checker.get(report.checker, 0) + 1
             reports_by_switch[report.switch_name] = \
                 reports_by_switch.get(report.switch_name, 0) + 1
-        return {
+        out = {
             "switches": per_switch,
             "reports_total": len(self.reports),
             "reports_by_checker": reports_by_checker,
@@ -292,3 +310,6 @@ class HydraDeployment:
             "checkers": [c.name for c in self.compileds],
             "check_mode": self.check_mode,
         }
+        if self.obs.registry.live:
+            out["metrics"] = self.obs.registry.to_dict()
+        return out

@@ -26,12 +26,13 @@ the final telemetry values.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
 
 from ..indus import (ControlStore, HopContext, Monitor, MonitorState,
                      SensorStore)
 from ..indus.typechecker import CheckedProgram
+from ..obs import NULL_OBS, Observability
 
 
 class TraceFormatError(ValueError):
@@ -77,16 +78,19 @@ def _apply_controls(store: ControlStore, spec: Dict[str, Any]) -> None:
 
 
 def run_trace(checked: CheckedProgram, trace: Dict[str, Any],
-              on_hop: Optional[Callable[[int, MonitorState], None]] = None,
-              ) -> TraceResult:
+              obs: Optional[Observability] = None,
+              packet_id: int = 0) -> TraceResult:
     """Run the monitor for ``checked`` over a parsed trace document.
 
-    ``on_hop``, when given, is called as ``on_hop(i, state)`` after the
-    monitor finishes hop ``i`` — the differential oracle uses this to
+    With a live tracer on ``obs``, a ``monitor_hop`` event is emitted
+    after each hop, carrying the live :class:`MonitorState` in
+    ``detail["state"]`` — the differential oracle subscribes to this to
     snapshot intermediate telemetry and compare it against the values
     the compiled pipeline carried on the wire.  The state object is the
-    live monitor state; callbacks must copy what they keep.
+    live monitor state; subscribers must copy what they keep.
     """
+    obs = obs if obs is not None else NULL_OBS
+    trace_live = obs.tracer.live
     if not isinstance(trace, dict) or "hops" not in trace:
         raise TraceFormatError("trace documents need a 'hops' list")
     hops = trace["hops"]
@@ -113,8 +117,14 @@ def run_trace(checked: CheckedProgram, trace: Dict[str, Any],
             switch_id=int(hop.get("switch_id", i + 1)),
         )
         monitor.run_hop(state, ctx)
-        if on_hop is not None:
-            on_hop(i, state)
+        if trace_live:
+            obs.tracer.emit("monitor_hop", "monitor", packet_id,
+                            hop=i, switch_id=ctx.switch_id,
+                            rejected=state.rejected, state=state)
+    if state.rejected and obs.registry.live:
+        obs.registry.counter(
+            "monitor_rejections_total",
+            "traces rejected by the reference monitor").labels().inc()
     return TraceResult(accepted=not state.rejected, state=state,
                        hop_count=len(hops))
 

@@ -80,3 +80,26 @@ def test_bool_and_repr():
     log.append(1)
     assert log
     assert "total=1" in repr(log)
+
+
+def test_repr_reports_eviction_count():
+    log = BoundedLog(2)
+    assert "evicted=0" in repr(log)
+    for i in range(5):
+        log.append(i)
+    assert "evicted=3" in repr(log)
+
+
+def test_on_evict_callback_fires_per_eviction():
+    evictions = []
+    log = BoundedLog(3, on_evict=evictions.append)
+    for i in range(3):
+        log.append(i)
+    assert evictions == []            # within capacity: no callback
+    log.append(3)
+    log.append(4)
+    assert evictions == [1, 1]        # one call per evicted entry
+    assert sum(evictions) == log.dropped
+    log.clear()
+    log.append("x")
+    assert evictions == [1, 1]        # clear resets, no spurious calls

@@ -78,3 +78,51 @@ def test_table1_runs(capsys):
     assert code == 0
     assert "Baseline" in out
     assert "source_routing_validation" in out
+
+
+def test_metrics_command_prometheus(capsys):
+    code, out, _ = run_cli(capsys, "metrics", "3")
+    assert code == 0
+    assert "# TYPE switch_packets_total counter" in out
+    assert 'switch_packets_total{switch="s1"' in out
+    assert "# TYPE phase_seconds histogram" in out
+
+
+def test_metrics_command_json(capsys):
+    import json
+
+    code, out, _ = run_cli(capsys, "metrics", "3", "--json")
+    assert code == 0
+    dump = json.loads(out)
+    assert dump["switch_packets_total"]["kind"] == "counter"
+    assert sum(s["value"] for s in
+               dump["table_lookups_total"]["series"]) > 0
+
+
+def test_trace_command_jsonl_stdout(capsys):
+    import json
+
+    code, out, _ = run_cli(capsys, "trace", "3")
+    assert code == 0
+    events = [json.loads(line) for line in out.splitlines()]
+    assert events
+    kinds = {e["kind"] for e in events}
+    assert "parse" in kinds and "enqueue" in kinds
+
+
+def test_trace_command_follow_and_export(tmp_path, capsys):
+    import json
+
+    out_path = tmp_path / "trace.jsonl"
+    code, out, err = run_cli(capsys, "trace", "3", "--follow",
+                             "-o", str(out_path))
+    assert code == 0
+    assert "packet" in out and "parse" in out
+    assert f"to {out_path}" in err
+    lines = out_path.read_text().splitlines()
+    assert lines and all(json.loads(line) for line in lines)
+
+
+def test_trace_command_rejects_bad_scenario(capsys):
+    with pytest.raises(SystemExit, match="scenario must be"):
+        main(["trace", "not-a-seed"])
