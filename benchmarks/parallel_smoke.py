@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI smoke for the sharded fleet runner's fault paths.
+
+Exercises, with real worker processes, what a green unit run can't
+prove end to end at CI scale:
+
+1. determinism — a sharded campaign's verdict map equals the serial
+   one for the same seed range;
+2. crash recovery — a worker SIGKILLed by ``FaultPlan`` is respawned,
+   the killing seed is retried then quarantined with a reproducer
+   bundle, and every other seed still completes;
+3. timeout — a hung worker is killed within the per-scenario budget
+   and only the hung seed is quarantined.
+
+Exits nonzero on the first violated expectation.  Runs in a few
+seconds; used by the ``parallel`` CI job.
+"""
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.difftest import run_difftest                     # noqa: E402
+from repro.parallel import (FaultPlan, FleetOptions,        # noqa: E402
+                            run_fleet)
+
+
+def check(condition, label):
+    if not condition:
+        print(f"FAIL: {label}")
+        raise SystemExit(1)
+    print(f"ok: {label}")
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="parallel_smoke_")
+    try:
+        serial = run_difftest(seed=7, iters=8, stop_on_failure=False)
+        fleet = run_fleet(7, 8, options=FleetOptions(
+            workers=2, quarantine_dir=workdir))
+        check(fleet.verdicts == serial.verdicts,
+              "workers=2 verdicts identical to serial")
+        check(fleet.respawns == 0 and not fleet.quarantined,
+              "clean run needs no recovery")
+
+        crashed = run_fleet(7, 6, options=FleetOptions(
+            workers=2, quarantine_dir=workdir,
+            fault=FaultPlan(crash_seeds=frozenset({9}))))
+        check(sorted(crashed.verdicts) == list(range(7, 13)),
+              "crash run accounts for every seed")
+        check(crashed.verdicts[9] == "quarantined:worker_crash",
+              "killing seed quarantined as worker_crash")
+        check(all(crashed.verdicts[s] == "ok"
+                  for s in (7, 8, 10, 11, 12)),
+              "all other seeds complete after respawn")
+        check(crashed.respawns >= 2,
+              "crash run respawned the worker (retry + quarantine)")
+        bundle = crashed.quarantined[0]["bundle"]
+        check(os.path.exists(bundle), "reproducer bundle written")
+        with open(bundle) as handle:
+            doc = json.load(handle)
+        check(doc["failure"]["kind"] == "worker_crash",
+              "bundle records the failure kind")
+
+        hung = run_fleet(7, 6, options=FleetOptions(
+            workers=2, timeout_s=1.0, quarantine_dir=workdir,
+            fault=FaultPlan(hang_seeds=frozenset({8}))))
+        check(hung.verdicts[8] == "quarantined:timeout",
+              "hung seed quarantined as timeout")
+        check(all(hung.verdicts[s] == "ok"
+                  for s in (7, 9, 10, 11, 12)),
+              "all other seeds complete around the hang")
+
+        print("parallel fleet smoke: all checks passed")
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -6,17 +6,25 @@ loop freedom ("a packet must not visit the same switch twice"):
 
 1. parse + type-check the Indus source;
 2. run it on the reference interpreter over a hand-made path;
-3. compile it to P4, print the generated code;
-4. deploy it on a simulated network and watch a looping packet die.
+3. compile it to P4 (``repro.compile_indus``), print the generated code;
+4. deploy it on a simulated network (``repro.deploy``) and watch a
+   looping packet die;
+5. spot-check the whole toolchain with the differential oracle
+   (``repro.run_scenario``).
+
+Steps 3-5 go through :mod:`repro.api`, the stable facade — the same
+five verbs the CLI and the experiment harnesses use (``repro.api.
+difftest(seed=..., iters=..., workers=N)`` scales step 5 into a
+sharded campaign).  The lower-level imports in steps 1-2 show the
+layers underneath.
 """
 
-from repro.compiler import compile_program, standalone_program
+import repro
 from repro.indus import HopContext, Monitor, check, parse
-from repro.net.packet import ip, make_udp
+from repro.net.packet import make_udp
 from repro.net.topology import single_switch
 from repro.p4 import count_loc, render
 from repro.p4.programs import l2_port_forwarding
-from repro.runtime import HydraDeployment
 
 LOOP_FREEDOM = """
 /* Packets must not visit the same switch twice. */
@@ -68,8 +76,8 @@ def step2_interpret(checked):
 
 def step3_compile(checked):
     print("=== 3. Compile to P4 ===")
-    compiled = compile_program(checked, name="loop_freedom")
-    program = standalone_program(compiled)
+    compiled = repro.compile_indus(LOOP_FREEDOM, name="loop_freedom")
+    program = repro.standalone_program(compiled)
     text = render(program)
     header = compiled.hydra_header
     print(f"telemetry header: {header.width_bits} bits "
@@ -85,9 +93,9 @@ def step3_compile(checked):
 def step4_deploy(compiled):
     print("=== 4. Deploy on a simulated network ===")
     topology = single_switch(2)
-    deployment = HydraDeployment(
-        topology, compiled,
-        {"s1": l2_port_forwarding()},
+    deployment = repro.deploy(
+        compiled, topology=topology,
+        forwarding={"s1": l2_port_forwarding()},
     )
     sw = deployment.switches["s1"]
     sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
@@ -99,7 +107,17 @@ def step4_deploy(compiled):
     print(f"h2 received {network.host('h2').rx_count} packet(s); "
           f"reports: {len(deployment.reports)}")
     print("(single hop -> no loop possible; try the valley-free example "
-          "for a multi-switch fabric)")
+          "for a multi-switch fabric)\n")
+
+
+def step5_oracle():
+    print("=== 5. Differential oracle spot-check ===")
+    result = repro.run_scenario(seed=7)
+    print(f"seed 7: {result.packets_run} packets through both engines "
+          f"+ the reference monitor -> "
+          f"{'all agree' if result.ok else result.failure}")
+    print("(scale this up: repro.api.difftest(seed=0, iters=200, "
+          "workers=4), or `python -m repro difftest --workers 4`)")
 
 
 def main():
@@ -107,6 +125,7 @@ def main():
     step2_interpret(checked)
     compiled = step3_compile(checked)
     step4_deploy(compiled)
+    step5_oracle()
 
 
 if __name__ == "__main__":

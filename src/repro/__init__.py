@@ -18,7 +18,20 @@ Subpackages:
 * :mod:`repro.workloads`  — campus traces, anonymizer, load/ping.
 * :mod:`repro.experiments`— table/figure reproduction harnesses.
 
-Quickstart::
+The stable public surface is :mod:`repro.api` — five verbs with
+uniform keyword-only ``engine=`` / ``obs=`` / ``seed=`` / ``workers=``
+arguments::
+
+    import repro
+
+    compiled = repro.compile_indus("loops")
+    result = repro.run_scenario(seed=7)           # dual-engine oracle
+    summary = repro.api.difftest(seed=0, iters=200, workers=4)
+
+(The campaign verb is reached as ``repro.api.difftest`` — the top-level
+name ``repro.difftest`` is the subpackage of the same name.)
+
+Quickstart for the lower-level layers::
 
     from repro.indus import Monitor, HopContext
 
@@ -32,15 +45,17 @@ Quickstart::
 
 __version__ = "1.0.0"
 
-from . import (aether, compiler, experiments, indus, ltl, net, p4,
+from . import (aether, api, compiler, experiments, indus, ltl, net, p4,
                properties, runtime, tofino, workloads)
+from .api import bench, compile_indus, deploy, run_scenario
 from .indus import Monitor, HopContext, check, parse
 from .compiler import compile_program, link, standalone_program
 from .runtime import HydraDeployment
 
 __all__ = [
-    "HopContext", "HydraDeployment", "Monitor", "aether", "check",
-    "compile_program", "compiler", "experiments", "indus", "link", "ltl",
-    "net", "p4", "parse", "properties", "runtime", "standalone_program",
+    "HopContext", "HydraDeployment", "Monitor", "aether", "api", "bench",
+    "check", "compile_indus", "compile_program", "compiler", "deploy",
+    "experiments", "indus", "link", "ltl", "net", "p4", "parse",
+    "properties", "run_scenario", "runtime", "standalone_program",
     "tofino", "workloads", "__version__",
 ]

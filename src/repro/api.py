@@ -1,0 +1,162 @@
+"""The stable public API facade.
+
+Everything a script, notebook, or downstream harness needs lives here
+behind five verbs with uniform keyword arguments:
+
+* :func:`compile_indus` — Indus source (or a bundled property name, or
+  a ``.indus`` path) to a compiled checker;
+* :func:`deploy`       — a compiled checker onto a topology (or a
+  difftest scenario) as a running :class:`~repro.runtime.deployment.
+  HydraDeployment`;
+* :func:`run_scenario` — one differential-oracle scenario, end to end;
+* :func:`difftest`     — a whole oracle campaign, serial or sharded;
+* :func:`bench`        — the engine throughput benchmark.
+
+Uniform keywords across the verbs, always keyword-only:
+
+* ``engine=``  — switch execution engine, ``"fast"`` or ``"interp"``;
+* ``obs=``     — an :class:`~repro.obs.Observability` handle (metrics
+  registry + tracer) threaded through every layer; fleet runs merge
+  worker registries into it;
+* ``seed=``    — the deterministic seed.  Scenarios are pure functions
+  of their seed, so equal seeds mean equal behavior — including across
+  worker counts;
+* ``workers=`` — process fan-out where the verb supports it
+  (:mod:`repro.parallel`); ``1`` means serial, in-process.
+
+Stability promise: these five signatures are the compatibility surface
+the CLI, the experiment harnesses, and the tests are written against.
+Internal modules (``repro.difftest.harness``, ``repro.parallel.runner``,
+…) may reshuffle between releases; this module will not, short of a
+deprecation cycle (see the shims in :mod:`repro.difftest.harness` for
+the pattern).
+
+Heavyweight subsystems are imported lazily inside each function so that
+``import repro`` stays cheap and cycle-free.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Dict, List, Optional, Union
+
+__all__ = ["bench", "compile_indus", "deploy", "difftest", "run_scenario"]
+
+
+def compile_indus(program: str, *, name: Optional[str] = None) -> Any:
+    """Compile an Indus checker to P4.
+
+    ``program`` may be a bundled property name (``"loops"``, see
+    ``python -m repro properties``), a path to an ``.indus`` file, or
+    Indus source text itself.  Returns the
+    :class:`~repro.compiler.codegen.CompiledChecker` that
+    :func:`deploy` consumes.
+    """
+    from .compiler import compile_program
+    from .properties import PROPERTIES, load_source
+
+    if program in PROPERTIES:
+        return compile_program(load_source(program),
+                               name=name or program)
+    if "\n" not in program and "{" not in program \
+            and os.path.exists(program):
+        with open(program) as handle:
+            source = handle.read()
+        default = os.path.splitext(os.path.basename(program))[0]
+        return compile_program(source, name=name or default)
+    return compile_program(program, name=name or "checker")
+
+
+def deploy(compiled: Any, *, scenario: Any = None, topology: Any = None,
+           forwarding: Any = None, engine: str = "fast",
+           obs: Any = None) -> Any:
+    """Stand up a running deployment of a compiled checker.
+
+    Either pass a difftest ``scenario=`` (everything else — topology,
+    forwarding, routes — is derived from it), or pass ``topology=`` and
+    ``forwarding=`` explicitly as
+    :class:`~repro.runtime.deployment.HydraDeployment` would take them.
+    Returns the live deployment: inject packets via
+    ``deployment.network`` and read verdicts/reports off the collector.
+    """
+    if scenario is not None:
+        from .difftest.harness import build_scenario_deployment
+
+        return build_scenario_deployment(scenario, compiled,
+                                         engine=engine, obs=obs)
+    if topology is None or forwarding is None:
+        raise TypeError(
+            "deploy() needs either scenario=, or both topology= and "
+            "forwarding=")
+    from .runtime.deployment import HydraDeployment
+
+    kwargs: Dict[str, Any] = {"engine": engine}
+    if obs is not None:
+        kwargs["obs"] = obs
+    return HydraDeployment(topology, compiled, forwarding, **kwargs)
+
+
+def run_scenario(scenario: Union[int, Any] = None, *,
+                 seed: Optional[int] = None, obs: Any = None) -> Any:
+    """Run one differential-oracle scenario end to end: compile, deploy
+    under both P4 engines, replay through the reference Indus monitor,
+    compare all three.
+
+    Pass a :class:`~repro.difftest.scenario.Scenario` (or its seed as a
+    plain int), or ``seed=`` alone.  Returns the
+    :class:`~repro.difftest.harness.ScenarioResult`; ``result.ok`` is
+    the oracle verdict.
+    """
+    from .difftest import gen_scenario
+    from .difftest.harness import run_scenario as _run
+
+    if scenario is None:
+        if seed is None:
+            raise TypeError("run_scenario() needs a scenario or seed=")
+        scenario = gen_scenario(seed)
+    elif isinstance(scenario, int):
+        scenario = gen_scenario(scenario)
+    registry = None
+    if obs is not None and obs.registry.live:
+        registry = obs.registry
+    return _run(scenario, registry=registry)
+
+
+def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
+             inject_bug: bool = False, stop_on_failure: bool = True,
+             obs: Any = None, timeout_s: float = 60.0,
+             quarantine_dir: str = "difftest_failures",
+             progress: Optional[Callable[[str], None]] = None) -> Any:
+    """Run a differential-oracle campaign over ``iters`` seeds starting
+    at ``seed``.
+
+    ``workers > 1`` shards the seed range across that many processes
+    (:func:`repro.parallel.run_fleet`) with per-scenario ``timeout_s``
+    kill, crashed-worker respawn, and quarantine of seeds that take
+    down their worker (reproducer bundles land in ``quarantine_dir``).
+    For a fixed seed the verdict *set* is identical for any worker
+    count.  Returns the :class:`~repro.difftest.DifftestSummary`.
+    """
+    from .difftest import run_difftest
+
+    return run_difftest(seed=seed, iters=iters, inject_bug=inject_bug,
+                        stop_on_failure=stop_on_failure,
+                        progress=progress, obs=obs, workers=workers,
+                        timeout_s=timeout_s,
+                        quarantine_dir=quarantine_dir)
+
+
+def bench(*, packets: int = 5000, replay: bool = True, workers: int = 1,
+          out: Optional[str] = None) -> Dict[str, Any]:
+    """Benchmark the behavioral model: interp vs fast packets/sec, plus
+    a campus-replay goodput parity check and a metered metrics snapshot.
+
+    The timed pps measurement always runs serially in this process —
+    co-scheduling would distort it; ``workers > 1`` offloads the side
+    tasks (replay parity, metered snapshot) to a process pool instead.
+    Returns the report dict (written to ``out`` as JSON when given).
+    """
+    from .experiments.bench import run_bench
+
+    return run_bench(packets=packets, replay=replay, out_path=out,
+                     workers=workers)

@@ -110,9 +110,10 @@ def cmd_fig12(args: argparse.Namespace) -> int:
     checkers = args.checkers.split(",") if args.checkers else None
     print(f"running Figure 12 (duration {args.duration}s, "
           f"{args.load} Mb/s per pair, "
-          f"checkers: {', '.join(checkers) if checkers else 'all'}; "
-          "this takes a little while)...")
-    result = run_fig12(config, checkers=checkers)
+          f"checkers: {', '.join(checkers) if checkers else 'all'}"
+          + (f", {args.workers} workers" if args.workers > 1 else "")
+          + "; this takes a little while)...")
+    result = run_fig12(config, checkers=checkers, workers=args.workers)
     for run in (result.baseline, result.with_checkers):
         print(f"{run.label:14s} n={len(run.rtts_ms):4d} "
               f"mean RTT={run.mean_ms:.4f} ms")
@@ -132,12 +133,15 @@ def _positive_int(text: str) -> int:
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
-    from .experiments import format_bench, run_bench
+    from .api import bench
+    from .experiments import format_bench
 
     print("benchmarking interp vs fast engines "
-          f"({args.packets} packets per run)...")
-    result = run_bench(packets=args.packets, replay=not args.no_replay,
-                       out_path=args.out)
+          f"({args.packets} packets per run"
+          + (f", {args.workers} workers for side tasks"
+             if args.workers > 1 else "") + ")...")
+    result = bench(packets=args.packets, replay=not args.no_replay,
+                   out=args.out, workers=args.workers)
     print(format_bench(result))
     if args.out:
         print(f"wrote {args.out}")
@@ -145,12 +149,27 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
 
 def cmd_difftest(args: argparse.Namespace) -> int:
-    from .difftest import Minimizer, dump_reproducer, run_difftest
+    from .api import difftest
+    from .difftest import Minimizer, dump_reproducer
 
     mode = "injected-bug validation" if args.inject_bug else "oracle"
-    print(f"difftest ({mode}): seed {args.seed}, {args.iters} iteration(s)")
-    summary = run_difftest(seed=args.seed, iters=args.iters,
-                           inject_bug=args.inject_bug, progress=print)
+    print(f"difftest ({mode}): seed {args.seed}, {args.iters} iteration(s)"
+          + (f", {args.workers} workers" if args.workers > 1 else ""))
+    summary = difftest(seed=args.seed, iters=args.iters,
+                       inject_bug=args.inject_bug, progress=print,
+                       workers=args.workers, timeout_s=args.timeout,
+                       quarantine_dir=args.out)
+    if summary.workers > 1:
+        if summary.respawns:
+            print(f"worker respawns: {summary.respawns}")
+        for record in summary.quarantined:
+            print(f"quarantined seed {record['seed']} "
+                  f"({record['reason']}): {record['bundle']}",
+                  file=sys.stderr)
+        if summary.interrupted:
+            print("interrupted: partial results "
+                  f"({summary.iterations} of {args.iters} scenarios)",
+                  file=sys.stderr)
     if args.inject_bug:
         print(f"mutations injected: {summary.mutations_injected}, "
               f"caught: {summary.mutations_caught}")
@@ -165,6 +184,12 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     if summary.ok:
         print("all three levels agree")
         return 0
+    if not summary.failures:
+        # Quarantines only (crash/hang seeds) — the reproducer bundles
+        # are already on disk; nothing to minimize here.
+        print(f"{len(summary.quarantined)} seed(s) quarantined",
+              file=sys.stderr)
+        return 1
     failure = summary.failures[0]
     print(f"DISAGREEMENT: {failure}", file=sys.stderr)
     print("minimizing...", file=sys.stderr)
@@ -246,16 +271,16 @@ def _traced_run(args: argparse.Namespace):
         raise SystemExit(
             f"error: scenario must be 'fig12' or a difftest seed "
             f"(an integer), got {args.scenario!r}")
-    from .compiler import compile_program
-    from .difftest.harness import _build_packet, deploy_scenario
+    from .api import compile_indus, deploy
+    from .difftest.harness import build_packet
     from .difftest.scenario import gen_scenario
 
     scenario = gen_scenario(seed)
-    compiled = compile_program(scenario.source(), name=f"dt{seed}")
-    dep = deploy_scenario(scenario, compiled, engine=args.engine, obs=obs)
+    compiled = compile_indus(scenario.source(), name=f"dt{seed}")
+    dep = deploy(compiled, scenario=scenario, engine=args.engine, obs=obs)
     for spec in scenario.packets:
-        packet = _build_packet(spec, dep.topology, scenario.src_host,
-                               scenario.dst_host)
+        packet = build_packet(spec, dep.topology, scenario.src_host,
+                              scenario.dst_host)
         dep.network.host(scenario.src_host).send(packet)
         dep.network.run()
     return obs
@@ -345,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: all eleven Table-1 checkers)")
     p.add_argument("--engine", default="fast", choices=["fast", "interp"],
                    help="switch execution engine (default fast)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="run the two arms in a process pool "
+                        "(default 1 = serial; results are identical)")
     p.set_defaults(fn=cmd_fig12)
 
     p = sub.add_parser(
@@ -356,6 +384,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the campus-replay goodput parity check")
     p.add_argument("-o", "--out", default="BENCH_throughput.json",
                    help="output JSON path (default BENCH_throughput.json)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="offload replay/snapshot side tasks to a "
+                        "process pool; the timed pps loop stays serial "
+                        "(default 1)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -367,11 +399,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--iters", type=_positive_int, default=100,
                    help="number of scenarios (default 100)")
     p.add_argument("-o", "--out", default="difftest_failures",
-                   help="directory for minimized reproducers "
-                        "(default difftest_failures)")
+                   help="directory for minimized reproducers and "
+                        "quarantine bundles (default difftest_failures)")
     p.add_argument("--inject-bug", action="store_true",
                    help="mutate the compiled checker each iteration and "
                         "verify the oracle catches it")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="shard the seed range across N worker processes "
+                        "(default 1 = serial; the verdict set is "
+                        "identical for any worker count)")
+    p.add_argument("--timeout", type=float, default=60.0,
+                   help="per-scenario wall-clock budget in seconds for "
+                        "parallel runs; a hung worker is killed and the "
+                        "seed quarantined (default 60)")
     p.set_defaults(fn=cmd_difftest)
 
     p = sub.add_parser(

@@ -8,33 +8,98 @@ Indus :class:`~repro.indus.interp.Monitor`, and asserts that verdicts,
 reports, and wire telemetry agree (:mod:`.harness`).  Failing cases
 shrink to minimal reproducers (:mod:`.minimize`).
 
-Entry points: ``python -m repro difftest --seed N --iters K`` and the
-pytest suite ``tests/test_difftest.py`` (marker ``difftest``).
+Campaigns run serially in-process or sharded across worker processes
+(:mod:`repro.parallel`) — ``run_difftest(..., workers=N)`` dispatches;
+for a fixed seed the *set* of scenario verdicts is identical for any
+worker count.
+
+Entry points: ``python -m repro difftest --seed N --iters K
+[--workers W]``, :func:`repro.api.difftest`, and the pytest suite
+``tests/test_difftest.py`` (marker ``difftest``).
 """
 
 from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .genprog import GenProgram, gen_oracle_program
-from .harness import (DiffFailure, ScenarioResult, inject_mutation,
-                      run_scenario)
+from .harness import (DiffFailure, ScenarioResult, build_packet,
+                      build_scenario_deployment, deploy_scenario,
+                      inject_mutation, run_scenario)
 from .minimize import Minimizer, dump_reproducer
 from .scenario import PacketSpec, Scenario, gen_scenario
 
 __all__ = [
     "DiffFailure", "DifftestSummary", "GenProgram", "Minimizer",
-    "PacketSpec", "Scenario", "ScenarioResult", "dump_reproducer",
-    "gen_oracle_program", "gen_scenario", "inject_mutation",
-    "run_difftest", "run_scenario",
+    "PacketSpec", "Scenario", "ScenarioResult", "SeedOutcome",
+    "build_packet", "build_scenario_deployment", "deploy_scenario",
+    "dump_reproducer", "gen_oracle_program", "gen_scenario",
+    "inject_mutation", "run_difftest", "run_scenario", "run_seed",
 ]
 
 
 @dataclass
+class SeedOutcome:
+    """The oracle's verdict on one seed — the unit of work the sharded
+    fleet runner ships across process boundaries (pickle-safe: the
+    embedded :class:`DiffFailure` carries a serializable scenario and a
+    JSON-safe trace)."""
+
+    seed: int
+    failure: Optional[DiffFailure] = None
+    packets_run: int = 0
+    hops_checked: int = 0
+    reports_checked: int = 0
+    mutated: bool = False           # inject_bug mode: a mutation applied
+    caught: bool = False            # ...and the oracle noticed it
+    mutation_note: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.failure is None
+
+    @property
+    def verdict(self) -> str:
+        """A short stable label for determinism comparisons: ``"ok"`` or
+        the failure kind."""
+        return "ok" if self.failure is None else self.failure.kind
+
+
+def run_seed(seed: int, inject_bug: bool = False,
+             registry: Any = None) -> SeedOutcome:
+    """Run the oracle on one seed — the shared per-iteration step of the
+    serial loop and every fleet worker, so both paths compute literally
+    the same thing for a given seed."""
+    scenario = gen_scenario(seed)
+    outcome = SeedOutcome(seed=seed)
+    if inject_bug:
+        rng = random.Random(seed)
+        notes: List[str] = []
+
+        def mutate(compiled):
+            note = inject_mutation(compiled, rng)
+            if note is not None:
+                notes.append(note)
+
+        result = run_scenario(scenario, mutate=mutate, registry=registry)
+        if notes:
+            outcome.mutated = True
+            outcome.mutation_note = notes[0]
+            outcome.caught = result.failure is not None
+        return outcome
+    result = run_scenario(scenario, registry=registry)
+    outcome.failure = result.failure
+    outcome.packets_run = result.packets_run
+    outcome.hops_checked = result.hops_checked
+    outcome.reports_checked = result.reports_checked
+    return outcome
+
+
+@dataclass
 class DifftestSummary:
-    """Aggregate outcome of one difftest campaign."""
+    """Aggregate outcome of one difftest campaign (serial or fleet)."""
 
     iterations: int = 0
     packets_run: int = 0
@@ -43,16 +108,45 @@ class DifftestSummary:
     failures: List[DiffFailure] = field(default_factory=list)
     mutations_injected: int = 0
     mutations_caught: int = 0
+    #: Per-seed verdict labels ("ok" or the failure kind) — the content
+    #: the determinism requirement quantifies over: for a fixed seed
+    #: range this mapping is identical for any worker count.
+    verdicts: Dict[int, str] = field(default_factory=dict)
+    # -- fleet-only accounting (empty/zero on the serial path) ---------
+    workers: int = 1
+    #: Seeds pulled out of the run: [{"seed", "reason", "bundle"}] with
+    #: reason "worker_crash" | "timeout" and the reproducer-bundle dir.
+    quarantined: List[Dict[str, Any]] = field(default_factory=list)
+    respawns: int = 0
+    interrupted: bool = False
 
     @property
     def ok(self) -> bool:
-        return not self.failures
+        return not self.failures and not self.quarantined
+
+    def absorb(self, outcome: SeedOutcome) -> None:
+        """Fold one seed's outcome into the aggregate."""
+        self.iterations += 1
+        self.verdicts[outcome.seed] = outcome.verdict
+        self.packets_run += outcome.packets_run
+        self.hops_checked += outcome.hops_checked
+        self.reports_checked += outcome.reports_checked
+        if outcome.mutated:
+            self.mutations_injected += 1
+            if outcome.caught:
+                self.mutations_caught += 1
+        if outcome.failure is not None:
+            self.failures.append(outcome.failure)
 
 
 def run_difftest(seed: int = 0, iters: int = 100,
                  inject_bug: bool = False,
                  stop_on_failure: bool = True,
                  progress: Optional[Callable[[str], None]] = None,
+                 obs: Any = None,
+                 workers: int = 1,
+                 timeout_s: float = 60.0,
+                 quarantine_dir: str = "difftest_failures",
                  ) -> DifftestSummary:
     """Run ``iters`` oracle iterations starting at ``seed``.
 
@@ -61,39 +155,44 @@ def run_difftest(seed: int = 0, iters: int = 100,
     iteration mutates the compiled checker first and counts how many
     mutations the oracle catches; a *caught* mutation is the expected
     outcome and is not recorded as a failure.
+
+    ``obs``, when given and live, accumulates fleet-wide metrics: the
+    serial path threads its registry through every scenario, the
+    parallel path merges per-worker registries into it
+    (:meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+
+    ``workers > 1`` shards the seed range across that many processes
+    (:func:`repro.parallel.run_fleet`): same per-seed computation,
+    plus per-scenario timeouts, crashed-worker respawn, and quarantine
+    of seeds that kill or hang their worker.  A parallel campaign never
+    stops early — the verdict *set* for a fixed seed range is identical
+    for any worker count (ordering aside), which ``stop_on_failure``
+    would break.
     """
+    if workers > 1:
+        from ..parallel import FleetOptions, run_fleet
+
+        options = FleetOptions(workers=workers, inject_bug=inject_bug,
+                               timeout_s=timeout_s,
+                               quarantine_dir=quarantine_dir)
+        return run_fleet(seed, iters, options=options, obs=obs,
+                         progress=progress)
+    registry = None
+    if obs is not None and obs.registry.live:
+        registry = obs.registry
     summary = DifftestSummary()
     for i in range(iters):
-        scenario = gen_scenario(seed + i)
-        summary.iterations += 1
-        if inject_bug:
-            rng = random.Random(seed + i)
-            description: List[str] = []
-
-            def mutate(compiled):
-                note = inject_mutation(compiled, rng)
-                if note is not None:
-                    description.append(note)
-
-            result = run_scenario(scenario, mutate=mutate)
-            if description:
-                summary.mutations_injected += 1
-                if result.failure is not None:
-                    summary.mutations_caught += 1
-                    if progress:
-                        progress(f"seed {seed + i}: mutation caught "
-                                 f"({description[0]})")
-            continue
-        result = run_scenario(scenario)
-        summary.packets_run += result.packets_run
-        summary.hops_checked += result.hops_checked
-        summary.reports_checked += result.reports_checked
-        if result.failure is not None:
-            summary.failures.append(result.failure)
+        outcome = run_seed(seed + i, inject_bug=inject_bug,
+                           registry=registry)
+        summary.absorb(outcome)
+        if progress and outcome.mutated and outcome.caught:
+            progress(f"seed {seed + i}: mutation caught "
+                     f"({outcome.mutation_note})")
+        if outcome.failure is not None:
             if progress:
-                progress(f"seed {seed + i}: FAIL {result.failure}")
+                progress(f"seed {seed + i}: FAIL {outcome.failure}")
             if stop_on_failure:
                 break
-        elif progress and (i + 1) % 25 == 0:
+        elif progress and not inject_bug and (i + 1) % 25 == 0:
             progress(f"{i + 1}/{iters} scenarios clean")
     return summary

@@ -25,6 +25,7 @@ deployment saw.
 from __future__ import annotations
 
 import random
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
@@ -87,12 +88,16 @@ class _HopRecord:
 # Packet construction and header-variable resolution
 # ---------------------------------------------------------------------------
 
-def _build_packet(spec, topology, src_host: str, dst_host: str) -> Packet:
+def build_packet(spec, topology, src_host: str, dst_host: str) -> Packet:
     src = topology.hosts[src_host].ipv4 or ip(10, 0, 0, 1)
     dst = topology.hosts[dst_host].ipv4 or ip(10, 0, 0, 2)
     maker = make_udp if spec.proto == "udp" else make_tcp
     return maker(src, dst, spec.sport, spec.dport,
                  payload_len=spec.payload_len, ttl=spec.ttl)
+
+
+#: Backwards-compatible private alias (pre-``repro.api`` name).
+_build_packet = build_packet
 
 
 def _header_bindings(compiled: CompiledChecker) -> Dict[str, str]:
@@ -192,12 +197,15 @@ def _serialize_headers(packet: Packet) -> list:
     return [(h.htype.name, h.to_bits()) for h in packet.headers if h.valid]
 
 
-def deploy_scenario(scenario: Scenario, compiled: CompiledChecker,
-                    engine: str = "fast",
-                    obs: Optional[Observability] = None) -> HydraDeployment:
+def build_scenario_deployment(scenario: Scenario,
+                              compiled: CompiledChecker,
+                              engine: str = "fast",
+                              obs: Optional[Observability] = None,
+                              ) -> HydraDeployment:
     """Build the deployment a scenario describes: topology, forwarding
     entries along the computed path, and control values.  Shared by the
-    oracle (one deployment per engine) and the CLI trace surface."""
+    oracle (one deployment per engine) and the CLI trace surface.
+    Library callers should go through :func:`repro.api.deploy`."""
     topology = scenario.build_topology()
     rng = random.Random(scenario.seed)
     path = compute_path(topology, scenario.src_host, scenario.dst_host, rng)
@@ -215,6 +223,22 @@ def deploy_scenario(scenario: Scenario, compiled: CompiledChecker,
     return dep
 
 
+def deploy_scenario(scenario: Scenario, compiled: CompiledChecker,
+                    engine: str = "fast",
+                    obs: Optional[Observability] = None) -> HydraDeployment:
+    """Deprecated alias of :func:`build_scenario_deployment`.
+
+    Use :func:`repro.api.deploy` (``deploy(compiled,
+    scenario=scenario)``) — the stable facade — instead.
+    """
+    warnings.warn(
+        "repro.difftest.harness.deploy_scenario is deprecated; use "
+        "repro.api.deploy(compiled, scenario=scenario) instead",
+        DeprecationWarning, stacklevel=2)
+    return build_scenario_deployment(scenario, compiled, engine=engine,
+                                     obs=obs)
+
+
 def _run_engine(scenario: Scenario, compiled: CompiledChecker,
                 engine: str, registry=None) -> _EngineRun:
     # Every engine run gets its own tracer: its canonical `parse` events
@@ -222,7 +246,8 @@ def _run_engine(scenario: Scenario, compiled: CompiledChecker,
     # the oracle's record of what each hop saw.
     tracer = Tracer()
     obs = Observability(registry=registry, tracer=tracer)
-    dep = deploy_scenario(scenario, compiled, engine=engine, obs=obs)
+    dep = build_scenario_deployment(scenario, compiled, engine=engine,
+                                    obs=obs)
     topology = dep.topology
 
     bindings = _header_bindings(compiled)
@@ -252,8 +277,8 @@ def _run_engine(scenario: Scenario, compiled: CompiledChecker,
         dep.clear_reports()
         before_rx = dst.rx_count
         received_at = len(dst.received)
-        packet = _build_packet(spec, topology, scenario.src_host,
-                               scenario.dst_host)
+        packet = build_packet(spec, topology, scenario.src_host,
+                              scenario.dst_host)
         dep.network.host(scenario.src_host).send(packet)
         dep.network.run()
         run.verdicts.append(dst.rx_count > before_rx)

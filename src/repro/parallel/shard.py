@@ -1,0 +1,51 @@
+"""Deterministic partitioning of a seed range into worker shards.
+
+The fleet runner's determinism contract — for a fixed ``--seed`` the
+set of scenario verdicts is identical for any worker count — starts
+here: every scenario is a pure function of its seed, so *any*
+partition preserves the verdict set, and this one is additionally
+stable (same inputs, same shards, no randomness, no dependence on
+process scheduling).
+
+Seeds are dealt round-robin (shard ``k`` gets ``seed + k``,
+``seed + k + shards``, …) rather than in contiguous blocks: scenario
+cost varies with the seed (topology size, packet count), and
+interleaving spreads expensive neighborhoods evenly across workers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["Shard", "partition_seeds"]
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One worker's slice of the campaign: an index and its seeds, in
+    the order the worker will run them."""
+
+    index: int
+    seeds: Tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+
+def partition_seeds(seed: int, iters: int, shards: int) -> List[Shard]:
+    """Split ``[seed, seed + iters)`` into ``shards`` round-robin
+    shards.  Shards partition the range exactly (disjoint, complete);
+    trailing shards may be one seed shorter.  Empty shards are dropped,
+    so the result may be shorter than ``shards`` when ``iters`` is
+    small."""
+    if iters < 0:
+        raise ValueError(f"iters must be >= 0, got {iters}")
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    out: List[Shard] = []
+    for k in range(shards):
+        seeds = tuple(range(seed + k, seed + iters, shards))
+        if seeds:
+            out.append(Shard(index=k, seeds=seeds))
+    return out

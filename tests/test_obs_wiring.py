@@ -222,15 +222,16 @@ def test_difftest_verdicts_unchanged_with_live_registry(seed):
 
 def test_deployment_stats_include_metrics_snapshot():
     from repro.compiler import compile_program
-    from repro.difftest.harness import _build_packet, deploy_scenario
+    from repro.difftest.harness import build_packet, \
+        build_scenario_deployment
     from repro.difftest.scenario import gen_scenario
 
     scenario = gen_scenario(3)
     compiled = compile_program(scenario.source(), name="dt3")
     obs = Observability.enabled()
-    dep = deploy_scenario(scenario, compiled, obs=obs)
-    packet = _build_packet(scenario.packets[0], dep.topology,
-                           scenario.src_host, scenario.dst_host)
+    dep = build_scenario_deployment(scenario, compiled, obs=obs)
+    packet = build_packet(scenario.packets[0], dep.topology,
+                          scenario.src_host, scenario.dst_host)
     dep.network.host(scenario.src_host).send(packet)
     dep.network.run()
     stats = dep.stats()

@@ -1,0 +1,178 @@
+"""The sharded fleet runner: determinism, fault recovery, aggregation.
+
+Everything here runs real worker processes (small seed ranges keep it
+quick).  The load-bearing guarantees:
+
+* shard partitioning is an exact, deterministic partition;
+* for a fixed seed the per-seed verdict map is identical for any
+  worker count (the fleet determinism contract);
+* a worker SIGKILLed mid-scenario is respawned and the killing seed is
+  quarantined with a reproducer bundle after bounded retry;
+* a hung scenario trips the per-scenario timeout, is killed, and only
+  that seed is quarantined;
+* worker-side metrics merge into the caller's registry with the same
+  deterministic content as a serial run;
+* per-shard traces concatenate into one globally-sequenced stream.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.difftest import run_difftest
+from repro.obs import MetricsRegistry, Observability
+from repro.parallel import (FLEET_TRACE_NAME, FaultPlan, FleetOptions,
+                            Shard, partition_seeds, run_fleet)
+
+pytestmark = pytest.mark.difftest
+
+
+# -- partitioning (pure, no processes) -------------------------------------
+
+def test_partition_is_exact_and_deterministic():
+    shards = partition_seeds(100, 10, 3)
+    assert [s.index for s in shards] == [0, 1, 2]
+    assert shards[0].seeds == (100, 103, 106, 109)
+    assert shards[1].seeds == (101, 104, 107)
+    assert shards[2].seeds == (102, 105, 108)
+    all_seeds = [seed for s in shards for seed in s.seeds]
+    assert sorted(all_seeds) == list(range(100, 110))
+    assert partition_seeds(100, 10, 3) == shards
+
+
+def test_partition_drops_empty_shards():
+    shards = partition_seeds(0, 2, 4)
+    assert len(shards) == 2
+    assert all(len(s) == 1 for s in shards)
+
+
+def test_partition_validates_arguments():
+    with pytest.raises(ValueError):
+        partition_seeds(0, -1, 2)
+    with pytest.raises(ValueError):
+        partition_seeds(0, 10, 0)
+    assert partition_seeds(0, 0, 4) == []
+
+
+def test_shard_len():
+    assert len(Shard(index=0, seeds=(1, 2, 3))) == 3
+
+
+# -- determinism across worker counts --------------------------------------
+
+def test_verdicts_identical_for_any_worker_count(tmp_path):
+    serial = run_difftest(seed=7, iters=6, stop_on_failure=False)
+    for workers in (1, 2, 4):
+        fleet = run_fleet(7, 6, options=FleetOptions(
+            workers=workers, quarantine_dir=str(tmp_path)))
+        assert fleet.verdicts == serial.verdicts, f"workers={workers}"
+        assert fleet.quarantined == []
+        assert fleet.respawns == 0
+        assert fleet.workers == workers
+        assert fleet.packets_run == serial.packets_run
+        assert fleet.hops_checked == serial.hops_checked
+        assert fleet.reports_checked == serial.reports_checked
+
+
+def test_run_difftest_dispatches_to_fleet(tmp_path):
+    serial = run_difftest(seed=7, iters=4, stop_on_failure=False)
+    fleet = run_difftest(seed=7, iters=4, workers=2,
+                         quarantine_dir=str(tmp_path))
+    assert fleet.workers == 2
+    assert fleet.verdicts == serial.verdicts
+
+
+def test_run_fleet_rejects_bad_worker_count():
+    with pytest.raises(ValueError):
+        run_fleet(0, 4, options=FleetOptions(workers=0))
+
+
+# -- fault recovery --------------------------------------------------------
+
+def test_crash_injection_quarantines_only_killing_seed(tmp_path):
+    options = FleetOptions(workers=2, quarantine_dir=str(tmp_path),
+                           fault=FaultPlan(crash_seeds=frozenset({9})))
+    summary = run_fleet(7, 6, options=options)
+    # Every seed is accounted for; only the killer is quarantined.
+    assert sorted(summary.verdicts) == list(range(7, 13))
+    assert summary.verdicts[9] == "quarantined:worker_crash"
+    for seed in (7, 8, 10, 11, 12):
+        assert summary.verdicts[seed] == "ok"
+    assert [q["seed"] for q in summary.quarantined] == [9]
+    # One retry plus the post-quarantine respawn.
+    assert summary.respawns >= 2
+    assert not summary.ok
+    bundle = summary.quarantined[0]["bundle"]
+    assert os.path.exists(bundle)
+    with open(bundle) as handle:
+        repro_doc = json.loads(handle.read())
+    assert repro_doc["failure"]["kind"] == "worker_crash"
+
+
+def test_hang_injection_times_out_only_hung_seed(tmp_path):
+    options = FleetOptions(workers=2, timeout_s=1.0,
+                           quarantine_dir=str(tmp_path),
+                           fault=FaultPlan(hang_seeds=frozenset({8}),
+                                           hang_sleep_s=3600.0))
+    summary = run_fleet(7, 6, options=options)
+    assert sorted(summary.verdicts) == list(range(7, 13))
+    assert summary.verdicts[8] == "quarantined:timeout"
+    for seed in (7, 9, 10, 11, 12):
+        assert summary.verdicts[seed] == "ok"
+    assert [q["reason"] for q in summary.quarantined] == ["timeout"]
+
+
+# -- metrics aggregation ---------------------------------------------------
+
+def _deterministic_content(dump):
+    """Project a registry dump onto its run-deterministic content:
+    counter/gauge values and histogram *observation counts* — timing
+    sums and bucket spreads are wall-clock and vary run to run."""
+    out = {}
+    for name, entry in dump.items():
+        series = []
+        for s in entry["series"]:
+            if "value" in s:
+                series.append((tuple(sorted(s["labels"].items())),
+                               s["value"]))
+            else:
+                series.append((tuple(sorted(s["labels"].items())),
+                               s["count"]))
+        out[name] = (entry["kind"], sorted(series))
+    return out
+
+
+def test_fleet_metrics_match_serial(tmp_path):
+    obs_serial = Observability(registry=MetricsRegistry())
+    obs_fleet = Observability(registry=MetricsRegistry())
+    run_difftest(seed=7, iters=4, stop_on_failure=False, obs=obs_serial)
+    run_fleet(7, 4, options=FleetOptions(workers=2,
+                                         quarantine_dir=str(tmp_path)),
+              obs=obs_fleet)
+    assert (_deterministic_content(obs_fleet.registry.to_dict())
+            == _deterministic_content(obs_serial.registry.to_dict()))
+
+
+def test_fleet_without_obs_runs_metrics_free(tmp_path):
+    summary = run_fleet(7, 2, options=FleetOptions(
+        workers=2, quarantine_dir=str(tmp_path)))
+    assert summary.iterations == 2
+
+
+# -- trace shard concat ----------------------------------------------------
+
+def test_fleet_trace_concat(tmp_path):
+    trace_dir = tmp_path / "traces"
+    run_fleet(7, 4, options=FleetOptions(workers=2,
+                                         quarantine_dir=str(tmp_path),
+                                         trace_dir=str(trace_dir)))
+    merged = trace_dir / FLEET_TRACE_NAME
+    assert merged.exists()
+    records = [json.loads(line)
+               for line in merged.read_text().splitlines()]
+    scenarios = [r for r in records if r["kind"] == "scenario"]
+    assert sorted(r["packet_id"] for r in scenarios) == [7, 8, 9, 10]
+    assert all(r["verdict"] == "ok" for r in scenarios)
+    assert [r["seq"] for r in records] == list(range(len(records)))
+    assert {r["shard"] for r in records} == {0, 1}

@@ -1,0 +1,182 @@
+"""Registry.merge + trace shard-concat: the fleet aggregation layer.
+
+These are the semantics the sharded runner (repro.parallel) leans on:
+merging per-worker metric snapshots must be exact, associative, and
+safe under the label-cardinality ceiling, and per-shard JSONL traces
+must concatenate into one stream with a coherent global sequence.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import MetricsRegistry, NullRegistry, concat_jsonl_shards
+from repro.obs.metrics import MAX_LABEL_SETS, MetricError
+
+
+def _registry(counter_points, hist_points=()):
+    """Build a registry from [(labels-tuple, value)] counter points and
+    [(value,)] histogram observations."""
+    reg = MetricsRegistry()
+    c = reg.counter("packets_total", "test", labels=("switch",))
+    for switch, value in counter_points:
+        c.labels(switch).inc(value)
+    h = reg.histogram("lat", "test", buckets=(1.0, 5.0))
+    for value in hist_points:
+        h.observe(value)
+    return reg
+
+
+def test_counter_merge_sums_per_series():
+    a = _registry([("s1", 3), ("s2", 5)])
+    b = _registry([("s1", 4), ("s3", 1)])
+    merged = MetricsRegistry().merge(a).merge(b)
+    assert merged.value("packets_total", "s1") == 7
+    assert merged.value("packets_total", "s2") == 5
+    assert merged.value("packets_total", "s3") == 1
+
+
+def test_merge_accepts_registry_or_dump():
+    a = _registry([("s1", 3)], hist_points=[0.5, 2.0])
+    from_registry = MetricsRegistry().merge(a)
+    from_dump = MetricsRegistry().merge(a.to_dict())
+    assert from_registry.to_dict() == from_dump.to_dict()
+
+
+def test_merge_into_empty_is_exact_round_trip():
+    a = _registry([("s1", 3), ("s2", 5)], hist_points=[0.5, 2.0, 9.0])
+    # Include a declared-but-never-observed metric: it must survive too.
+    a.counter("quiet_total", "never incremented", labels=("x",))
+    dump = a.to_dict()
+    assert MetricsRegistry().merge(dump).to_dict() == dump
+
+
+def test_merge_is_associative():
+    regs = [_registry([("s1", i), (f"s{i}", 2 * i)], hist_points=[i * 1.0])
+            for i in range(1, 4)]
+    left = MetricsRegistry().merge(regs[0]).merge(regs[1]).merge(regs[2])
+    right_pair = MetricsRegistry().merge(regs[1]).merge(regs[2])
+    right = MetricsRegistry().merge(regs[0]).merge(right_pair)
+    assert left.to_dict() == right.to_dict()
+
+
+def test_gauge_merge_takes_max():
+    a = MetricsRegistry()
+    a.gauge("sim_time_seconds", "clock").set(4.0)
+    b = MetricsRegistry()
+    b.gauge("sim_time_seconds", "clock").set(9.0)
+    merged = MetricsRegistry().merge(a).merge(b)
+    assert merged.value("sim_time_seconds") == 9.0
+    # Max is insensitive to merge order.
+    other = MetricsRegistry().merge(b).merge(a)
+    assert other.value("sim_time_seconds") == 9.0
+
+
+def test_histogram_merge_adds_buckets_sum_count():
+    a = MetricsRegistry()
+    a.histogram("lat", buckets=(1.0, 5.0)).observe(0.5)
+    b = MetricsRegistry()
+    hb = b.histogram("lat", buckets=(1.0, 5.0))
+    hb.observe(2.0)
+    hb.observe(100.0)
+    merged = MetricsRegistry().merge(a).merge(b)
+    series = merged.to_dict()["lat"]["series"][0]
+    assert series["count"] == 3
+    assert series["sum"] == pytest.approx(102.5)
+    # Cumulative (le-style) bucket counts: 0.5 lands in both, 2.0 only
+    # in le=5.0, 100.0 in neither (it counts toward `count` alone).
+    assert series["buckets"]["1.0"] == 1
+    assert series["buckets"]["5.0"] == 2
+
+
+def test_histogram_bucket_mismatch_raises():
+    a = MetricsRegistry()
+    a.histogram("lat", buckets=(1.0, 5.0)).observe(0.5)
+    b = MetricsRegistry()
+    b.histogram("lat", buckets=(1.0, 10.0)).observe(0.5)
+    merged = MetricsRegistry().merge(a)
+    with pytest.raises(MetricError, match="bucket mismatch"):
+        merged.merge(b)
+
+
+def test_kind_mismatch_raises():
+    a = MetricsRegistry()
+    a.counter("thing").inc()
+    b = MetricsRegistry()
+    b.gauge("thing").set(1.0)
+    with pytest.raises(MetricError):
+        MetricsRegistry().merge(a).merge(b)
+
+
+def test_unknown_kind_in_dump_raises():
+    with pytest.raises(MetricError, match="unknown kind"):
+        MetricsRegistry().merge(
+            {"x": {"kind": "summary", "help": "", "series": []}})
+
+
+def test_label_union_respects_cardinality_ceiling():
+    target = MetricsRegistry()
+    c = target.counter("wide_total", labels=("k",))
+    for i in range(MAX_LABEL_SETS):
+        c.labels(f"k{i}").inc()
+    fresh = MetricsRegistry()
+    fresh.counter("wide_total", labels=("k",)).labels("brand_new").inc()
+    with pytest.raises(MetricError, match="label sets"):
+        target.merge(fresh)
+
+
+def test_merge_overlapping_labels_do_not_hit_ceiling():
+    a = MetricsRegistry()
+    ca = a.counter("wide_total", labels=("k",))
+    for i in range(MAX_LABEL_SETS):
+        ca.labels(f"k{i}").inc()
+    # Same label sets on the other shard: union adds nothing new.
+    b = MetricsRegistry()
+    cb = b.counter("wide_total", labels=("k",))
+    for i in range(MAX_LABEL_SETS):
+        cb.labels(f"k{i}").inc(2)
+    merged = MetricsRegistry().merge(a).merge(b)
+    assert merged.value("wide_total", "k0") == 3
+
+
+def test_null_registry_merge_is_noop():
+    null = NullRegistry()
+    assert null.merge(_registry([("s1", 1)])) is null
+    assert null.to_dict() == {}
+
+
+# -- trace shard concatenation ---------------------------------------------
+
+
+def _write_shard(path, events):
+    with open(path, "w") as handle:
+        for seq, kind in enumerate(events):
+            handle.write(json.dumps({"seq": seq, "kind": kind}) + "\n")
+
+
+def test_concat_jsonl_shards_renumbers_and_tags(tmp_path):
+    s0 = tmp_path / "shard0.jsonl"
+    s1 = tmp_path / "shard1.jsonl"
+    _write_shard(s0, ["a", "b"])
+    _write_shard(s1, ["c"])
+    dest = tmp_path / "merged.jsonl"
+    count = concat_jsonl_shards([str(s0), str(s1)], str(dest))
+    records = [json.loads(line) for line in dest.read_text().splitlines()]
+    assert count == 3 == len(records)
+    assert [r["seq"] for r in records] == [0, 1, 2]
+    assert [r["shard"] for r in records] == [0, 0, 1]
+    assert [r["kind"] for r in records] == ["a", "b", "c"]
+
+
+def test_concat_jsonl_shards_skips_missing_files(tmp_path):
+    s0 = tmp_path / "shard0.jsonl"
+    _write_shard(s0, ["a"])
+    dest = tmp_path / "merged.jsonl"
+    # A killed worker may never have flushed its trace file.
+    count = concat_jsonl_shards(
+        [str(tmp_path / "never_written.jsonl"), str(s0)], str(dest))
+    records = [json.loads(line) for line in dest.read_text().splitlines()]
+    assert count == 1
+    assert records[0]["kind"] == "a"
+    # Shard index reflects position in the source list, not file order.
+    assert records[0]["shard"] == 1
