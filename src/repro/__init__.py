@@ -18,13 +18,14 @@ Subpackages:
 * :mod:`repro.workloads`  — campus traces, anonymizer, load/ping.
 * :mod:`repro.experiments`— table/figure reproduction harnesses.
 
-The stable public surface is :mod:`repro.api` — five verbs with
+The stable public surface is :mod:`repro.api` — six verbs with
 uniform keyword-only ``engine=`` / ``obs=`` / ``seed=`` / ``workers=``
 arguments::
 
     import repro
 
-    compiled = repro.compile_indus("loops")
+    compiled = repro.compile_indus("loops", optimize=True)
+    diagnostics = repro.lint("loops")             # dataflow lint
     result = repro.run_scenario(seed=7)           # dual-engine oracle
     summary = repro.api.difftest(seed=0, iters=200, workers=4)
 
@@ -47,7 +48,7 @@ __version__ = "1.0.0"
 
 from . import (aether, api, compiler, experiments, indus, ltl, net, p4,
                properties, runtime, tofino, workloads)
-from .api import bench, compile_indus, deploy, run_scenario
+from .api import bench, compile_indus, deploy, lint, run_scenario
 from .indus import Monitor, HopContext, check, parse
 from .compiler import compile_program, link, standalone_program
 from .runtime import HydraDeployment
@@ -55,7 +56,7 @@ from .runtime import HydraDeployment
 __all__ = [
     "HopContext", "HydraDeployment", "Monitor", "aether", "api", "bench",
     "check", "compile_indus", "compile_program", "compiler", "deploy",
-    "experiments", "indus", "link", "ltl", "net", "p4", "parse",
+    "experiments", "indus", "link", "lint", "ltl", "net", "p4", "parse",
     "properties", "run_scenario", "runtime", "standalone_program",
     "tofino", "workloads", "__version__",
 ]

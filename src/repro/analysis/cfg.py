@@ -1,0 +1,252 @@
+"""Control-flow graphs over P4 IR statement bodies.
+
+The analysis framework sees a compiled checker the way the hardware
+does: as a handful of *placements* — the virtual linear pipelines a
+switch of a given role actually executes (mirroring
+:func:`repro.compiler.linker.link` exactly, but **sharing** the
+fragment statement objects instead of deep-copying them, so dataflow
+facts computed on a placement attach to the very statements the
+optimizer rewrites).
+
+A :class:`CFG` is built per placement (and per action body): structured
+``IfStmt``/``ApplyTable`` statements become branch nodes whose bodies
+chain to a common successor.  ``MarkToDrop`` is deliberately *not* a
+terminator — in this substrate (as on bmv2) it sets the drop flag and
+execution continues to the end of the pipeline, which is exactly why
+the post-drop lint rule exists.
+
+Parser coverage: :func:`always_extracted` computes the header binds
+guaranteed to be extracted on every path from the parse-graph start
+state to ``accept`` — the must-valid seed set for the
+possibly-invalid-table-key rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..net.topology import CORE, EDGE
+from ..p4 import ir
+
+ENTRY = "entry"
+EXIT = "exit"
+STMT = "stmt"
+
+
+@dataclass
+class CFGNode:
+    """One node of a control-flow graph.
+
+    ``stmt`` is the IR statement the node evaluates (``None`` for the
+    synthetic entry/exit nodes).  A structured statement contributes its
+    *shallow* part only — an ``IfStmt`` node evaluates the condition, an
+    ``ApplyTable`` node the key match and action — while the nested
+    bodies become separate nodes downstream.
+    """
+
+    index: int
+    kind: str = STMT
+    stmt: Optional[ir.P4Stmt] = None
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+
+@dataclass
+class CFG:
+    """A control-flow graph with unique entry and exit nodes."""
+
+    nodes: List[CFGNode] = field(default_factory=list)
+    entry: int = 0
+    exit: int = 0
+
+    def stmt_nodes(self) -> List[CFGNode]:
+        return [n for n in self.nodes if n.stmt is not None]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def build_cfg(stmts: Sequence[ir.P4Stmt]) -> CFG:
+    """Build the CFG of a statement body.
+
+    Every statement object in ``stmts`` (recursively) gets exactly one
+    node; branch arms rejoin at the next statement in their parent
+    body.  The returned graph always has ``entry -> ... -> exit``.
+    """
+    cfg = CFG()
+
+    def new_node(kind: str, stmt: Optional[ir.P4Stmt] = None) -> int:
+        node = CFGNode(index=len(cfg.nodes), kind=kind, stmt=stmt)
+        cfg.nodes.append(node)
+        return node.index
+
+    def edge(src: int, dst: int) -> None:
+        cfg.nodes[src].succs.append(dst)
+        cfg.nodes[dst].preds.append(src)
+
+    def chain(body: Sequence[ir.P4Stmt], frontier: List[int]) -> List[int]:
+        """Thread ``body`` after the ``frontier`` nodes; returns the new
+        frontier (the nodes falling through to whatever comes next)."""
+        for stmt in body:
+            node = new_node(STMT, stmt)
+            for prev in frontier:
+                edge(prev, node)
+            if isinstance(stmt, ir.IfStmt):
+                then_exits = chain(stmt.then_body, [node])
+                else_exits = chain(stmt.else_body, [node])
+                # An empty arm falls straight through the branch node.
+                frontier = list(dict.fromkeys(then_exits + else_exits))
+            elif isinstance(stmt, ir.ApplyTable):
+                hit_exits = chain(stmt.hit_body, [node])
+                miss_exits = chain(stmt.miss_body, [node])
+                frontier = list(dict.fromkeys(hit_exits + miss_exits))
+            else:
+                frontier = [node]
+        return frontier
+
+    cfg.entry = new_node(ENTRY)
+    exits = chain(stmts, [cfg.entry])
+    cfg.exit = new_node(EXIT)
+    for prev in exits:
+        edge(prev, cfg.exit)
+    return cfg
+
+
+# ---------------------------------------------------------------------------
+# Placements: the virtual pipelines a compiled checker runs in
+# ---------------------------------------------------------------------------
+
+from ..compiler.linker import LAST_HOP, PER_HOP  # noqa: E402  (cycle-free)
+
+
+@dataclass
+class PlacementView:
+    """One (role, check-mode) linearization of a compiled checker.
+
+    ``stmts`` is the ingress+egress pipeline body a switch of ``role``
+    executes under ``check_mode``, built from the *same* statement
+    objects as the compiled fragments — wrapper ``IfStmt`` nodes mirror
+    the conditions the linker synthesizes at link time (telemetry
+    validity guards, the last-hop gate, per-hop reject enforcement).
+    """
+
+    name: str
+    role: str
+    check_mode: str
+    stmts: List[ir.P4Stmt]
+    cfg: CFG
+
+
+def _wrap_valid(compiled, body: List[ir.P4Stmt]) -> ir.IfStmt:
+    return ir.IfStmt(cond=ir.ValidRef(compiled.hydra_name), then_body=body)
+
+
+def _enforce_reject(compiled) -> ir.IfStmt:
+    return ir.IfStmt(
+        cond=ir.BinExpr("==", ir.FieldRef(f"meta.{compiled.reject_meta}"),
+                        ir.Const(1, 1)),
+        then_body=[ir.MarkToDrop()],
+    )
+
+
+def _last_hop_gate(compiled, body: List[ir.P4Stmt]) -> ir.IfStmt:
+    is_last = ir.BinExpr("==", ir.FieldRef(f"meta.{compiled.last_hop_meta}"),
+                         ir.Const(1, 1))
+    return ir.IfStmt(
+        cond=ir.BinExpr("&&", ir.ValidRef(compiled.hydra_name), is_last),
+        then_body=body,
+    )
+
+
+def checker_placements(compiled) -> List[PlacementView]:
+    """The four placements a compiled checker can execute in.
+
+    A statement is safe to drop only if it is dead in *every* placement
+    that contains it — the optimizer and the lint passes both quantify
+    over this list rather than assuming a particular deployment.
+    """
+    core_prologue = [s for s in compiled.egress_prologue
+                     if not (isinstance(s, ir.ApplyTable)
+                             and s.table == compiled.inject_table)]
+    views: List[PlacementView] = []
+
+    def add(name: str, role: str, mode: str,
+            stmts: List[ir.P4Stmt]) -> None:
+        views.append(PlacementView(name=name, role=role, check_mode=mode,
+                                   stmts=stmts, cfg=build_cfg(stmts)))
+
+    add("edge-last_hop", EDGE, LAST_HOP,
+        list(compiled.ingress_prologue) + list(compiled.init_stmts)
+        + list(compiled.egress_prologue)
+        + [_wrap_valid(compiled, compiled.tele_stmts),
+           _last_hop_gate(compiled, (list(compiled.check_stmts)
+                                     + list(compiled.strip_stmts)))])
+    add("edge-per_hop", EDGE, PER_HOP,
+        list(compiled.ingress_prologue) + list(compiled.init_stmts)
+        + list(compiled.egress_prologue)
+        + [_wrap_valid(compiled, compiled.tele_stmts),
+           _wrap_valid(compiled, (list(compiled.check_stmts)
+                                  + [_enforce_reject(compiled)])),
+           _last_hop_gate(compiled, list(compiled.strip_stmts))])
+    add("core-last_hop", CORE, LAST_HOP,
+        list(core_prologue)
+        + [_wrap_valid(compiled, compiled.tele_stmts)])
+    add("core-per_hop", CORE, PER_HOP,
+        list(core_prologue)
+        + [_wrap_valid(compiled, compiled.tele_stmts),
+           _wrap_valid(compiled, (list(compiled.check_stmts)
+                                  + [_enforce_reject(compiled)]))])
+    return views
+
+
+# ---------------------------------------------------------------------------
+# Parser coverage
+# ---------------------------------------------------------------------------
+
+def always_extracted(parser: ir.ParserSpec) -> Set[str]:
+    """Header binds extracted on *every* path from the start state to
+    ``accept`` — the binds a table key may reference without a validity
+    guard.  Stack extracts are excluded (their depth is data-dependent).
+    Computed as a forward must-analysis over the parse graph."""
+    states = {s.name: s for s in parser.states}
+    if parser.start not in states:
+        return set()
+
+    def state_binds(state: ir.ParserState) -> Set[str]:
+        return {ex.bind for ex in state.extracts
+                if isinstance(ex, ir.Extract)}
+
+    # must_in[state] = intersection over predecessors of must_out;
+    # union lattice complement, so iterate to a fixpoint from TOP.
+    all_binds: Set[str] = set()
+    for s in parser.states:
+        all_binds |= state_binds(s)
+    must_in: Dict[str, Set[str]] = {name: set(all_binds) for name in states}
+    must_in[parser.start] = set()
+    accept_in: Optional[Set[str]] = None
+    changed = True
+    while changed:
+        changed = False
+        accept_in = None
+        for name, state in states.items():
+            out = must_in[name] | state_binds(state)
+            for tr in state.transitions:
+                target = tr.next_state
+                if target == ir.ACCEPT or target == ir.REJECT_STATE:
+                    if target == ir.ACCEPT:
+                        accept_in = (set(out) if accept_in is None
+                                     else accept_in & out)
+                    continue
+                if target in states and not must_in[target] <= out:
+                    narrowed = must_in[target] & out
+                    if narrowed != must_in[target]:
+                        must_in[target] = narrowed
+                        changed = True
+    return accept_in if accept_in is not None else set()
+
+
+__all__ = [
+    "CFG", "CFGNode", "ENTRY", "EXIT", "STMT", "PlacementView",
+    "always_extracted", "build_cfg", "checker_placements",
+]

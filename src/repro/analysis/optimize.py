@@ -1,0 +1,528 @@
+"""Oracle-validated optimizer over compiled checker IR.
+
+Pipeline (all in place, fixpoint-iterated):
+
+1. **Constant folding** — pure expressions over constants evaluate at
+   compile time with *exactly* the reference interpreter's semantics
+   (width masking, zero-divisor yields 0, shift amounts mod width,
+   short-circuit booleans); ``if`` statements with constant conditions
+   collapse to the taken arm.
+2. **Liveness-driven DCE** — a statement is removed only when it is
+   dead in *every* placement (role × check-mode) that contains it, per
+   :func:`~repro.analysis.cfg.checker_placements`.  Anything observable
+   is a root and never a candidate: register writes, digests,
+   header/validity mutation, drops, standard-metadata writes, and the
+   hop-protocol ABI tables (inject/strip/switch-id).
+3. **Dead-table / dead-action / dead-register pruning** — tables no
+   longer applied anywhere are dropped (and the control-routing maps
+   updated so the deployment runtime never programs a ghost table);
+   actions no remaining table references follow; registers with zero
+   reads *and* zero writes follow.
+4. **Scratch-field coalescing** — equal-width compiler-generated
+   metadata fields whose live ranges never overlap in any placement
+   share one PHV container.  Hop-protocol marks and control-plane
+   values are excluded; the interference graph is the union over all
+   placements, so the merge is safe wherever the checker lands.
+5. **Metadata pruning** — struct entries nothing references anymore
+   disappear, which is what moves the Tofino PHV number.
+
+The invariant the whole pass is validated against: an optimized
+program is verdict-, report-, and register-identical to the
+unoptimized one under the three-level differential oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..compiler.codegen import CompiledChecker
+from ..p4 import ir
+from .cfg import checker_placements
+from .dataflow import cfg_effects, liveness
+
+_FRAGMENT_ATTRS = ("ingress_prologue", "init_stmts", "egress_prologue",
+                   "tele_stmts", "check_stmts", "strip_stmts")
+
+_MASKED_OPS = {"+", "-", "*", "/", "%", "&", "|", "^", "<<", ">>",
+               "absdiff"}
+_BOOL_OPS = {"==", "!=", "<", "<=", ">", ">=", "&&", "||"}
+
+
+@dataclass
+class OptimizeStats:
+    """What one :func:`optimize_compiled` run changed."""
+
+    folded_exprs: int = 0
+    removed_stmts: int = 0
+    removed_tables: List[str] = field(default_factory=list)
+    removed_actions: List[str] = field(default_factory=list)
+    removed_registers: List[str] = field(default_factory=list)
+    coalesced_fields: List[Tuple[str, str]] = field(default_factory=list)
+    removed_metadata: List[Tuple[str, int]] = field(default_factory=list)
+
+    @property
+    def removed_metadata_bits(self) -> int:
+        return sum(width for _, width in self.removed_metadata)
+
+    def changed(self) -> bool:
+        return bool(self.folded_exprs or self.removed_stmts
+                    or self.removed_tables or self.removed_registers
+                    or self.coalesced_fields or self.removed_metadata)
+
+
+# ---------------------------------------------------------------------------
+# 1. Constant folding (reference-interpreter semantics, bit for bit)
+# ---------------------------------------------------------------------------
+
+def _const_value(expr: ir.P4Expr) -> Optional[int]:
+    if isinstance(expr, ir.Const):
+        return expr.value & ((1 << expr.width) - 1)
+    return None
+
+
+def _fold_expr(expr: ir.P4Expr, stats: OptimizeStats) -> ir.P4Expr:
+    if isinstance(expr, ir.UnExpr):
+        operand = _fold_expr(expr.operand, stats)
+        value = _const_value(operand)
+        if value is not None:
+            stats.folded_exprs += 1
+            if expr.op == "!":
+                return ir.Const(0 if value else 1, 1, span=expr.span)
+            width = ir.unexpr_width(expr)
+            mask = (1 << width) - 1
+            result = (~value if expr.op == "~" else -value) & mask
+            return ir.Const(result, width, span=expr.span)
+        if operand is not expr.operand:
+            return ir.UnExpr(expr.op, operand, expr.width, span=expr.span)
+        return expr
+    if isinstance(expr, ir.BinExpr):
+        left = _fold_expr(expr.left, stats)
+        right = _fold_expr(expr.right, stats)
+        folded = _fold_bin(expr, left, right)
+        if folded is not None:
+            stats.folded_exprs += 1
+            return folded
+        if left is not expr.left or right is not expr.right:
+            return ir.BinExpr(expr.op, left, right, expr.width,
+                              span=expr.span)
+        return expr
+    return expr
+
+
+def _fold_bin(expr: ir.BinExpr, left: ir.P4Expr,
+              right: ir.P4Expr) -> Optional[ir.Const]:
+    op = expr.op
+    lv, rv = _const_value(left), _const_value(right)
+    # Expressions are pure on this substrate, so a deciding constant on
+    # either side of a boolean settles the whole expression.
+    if op == "&&":
+        if lv == 0 or rv == 0:
+            return ir.Const(0, 1, span=expr.span)
+        if lv is not None and rv is not None:
+            return ir.Const(1, 1, span=expr.span)
+        return None
+    if op == "||":
+        if (lv is not None and lv != 0) or (rv is not None and rv != 0):
+            return ir.Const(1, 1, span=expr.span)
+        if lv == 0 and rv == 0:
+            return ir.Const(0, 1, span=expr.span)
+        return None
+    if lv is None or rv is None:
+        return None
+    mask = (1 << expr.width) - 1
+    if op == "+":
+        value, width = (lv + rv) & mask, expr.width
+    elif op == "-":
+        value, width = (lv - rv) & mask, expr.width
+    elif op == "*":
+        value, width = (lv * rv) & mask, expr.width
+    elif op == "/":
+        value, width = ((lv // rv) & mask if rv else 0), expr.width
+    elif op == "%":
+        value, width = ((lv % rv) & mask if rv else 0), expr.width
+    elif op == "&":
+        value, width = (lv & rv) & mask, expr.width
+    elif op == "|":
+        value, width = (lv | rv) & mask, expr.width
+    elif op == "^":
+        value, width = (lv ^ rv) & mask, expr.width
+    elif op == "<<":
+        value, width = (lv << (rv % expr.width)) & mask, expr.width
+    elif op == ">>":
+        value, width = (lv >> (rv % expr.width)) & mask, expr.width
+    elif op in ("==", "!=", "<", "<=", ">", ">="):
+        value = int({"==": lv == rv, "!=": lv != rv, "<": lv < rv,
+                     "<=": lv <= rv, ">": lv > rv, ">=": lv >= rv}[op])
+        width = 1
+    elif op == "absdiff":
+        diff = (lv - rv) & mask
+        value, width = min(diff, (-diff) & mask), expr.width
+    elif op in ("min", "max"):
+        value = min(lv, rv) if op == "min" else max(lv, rv)
+        width = max(_expr_width_of(left), _expr_width_of(right))
+    else:
+        return None
+    return ir.Const(value, max(width, value.bit_length(), 1),
+                    span=expr.span)
+
+
+def _expr_width_of(expr: ir.P4Expr) -> int:
+    return expr.width if isinstance(expr, ir.Const) else 32
+
+
+def _fold_stmts(stmts: Sequence[ir.P4Stmt],
+                stats: OptimizeStats) -> List[ir.P4Stmt]:
+    out: List[ir.P4Stmt] = []
+    for stmt in stmts:
+        if isinstance(stmt, ir.AssignStmt):
+            stmt.value = _fold_expr(stmt.value, stats)
+        elif isinstance(stmt, ir.IfStmt):
+            stmt.cond = _fold_expr(stmt.cond, stats)
+            stmt.then_body[:] = _fold_stmts(stmt.then_body, stats)
+            stmt.else_body[:] = _fold_stmts(stmt.else_body, stats)
+            cond = _const_value(stmt.cond)
+            if cond is not None:
+                taken = stmt.then_body if cond else stmt.else_body
+                stats.removed_stmts += 1
+                out.extend(taken)
+                continue
+        elif isinstance(stmt, ir.ApplyTable):
+            stmt.hit_body[:] = _fold_stmts(stmt.hit_body, stats)
+            stmt.miss_body[:] = _fold_stmts(stmt.miss_body, stats)
+        elif isinstance(stmt, ir.RegisterRead):
+            stmt.index = _fold_expr(stmt.index, stats)
+        elif isinstance(stmt, ir.RegisterWrite):
+            stmt.index = _fold_expr(stmt.index, stats)
+            stmt.value = _fold_expr(stmt.value, stats)
+        elif isinstance(stmt, ir.Digest):
+            stmt.fields = [_fold_expr(f, stats) for f in stmt.fields]
+        out.append(stmt)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# 2. Liveness-driven dead-code elimination
+# ---------------------------------------------------------------------------
+
+def _abi_tables(compiled: CompiledChecker) -> Set[str]:
+    return {compiled.inject_table, compiled.strip_table,
+            compiled.switch_id_table}
+
+
+def _dce_round(compiled: CompiledChecker, stats: OptimizeStats) -> bool:
+    """One removal sweep; returns True if anything changed."""
+    abi = _abi_tables(compiled)
+    needed: Set[int] = set()
+    for view in checker_placements(compiled):
+        effects = cfg_effects(view.cfg, compiled.tables, compiled.actions)
+        _, live_out = liveness(view.cfg, effects)
+        for node in view.cfg.nodes:
+            stmt = node.stmt
+            if stmt is None:
+                continue
+            eff = effects[node.index]
+            if isinstance(stmt, (ir.AssignStmt, ir.RegisterRead)):
+                if eff.side_effects or eff.defs & live_out[node.index]:
+                    needed.add(id(stmt))
+            elif isinstance(stmt, ir.ApplyTable):
+                if (stmt.table in abi or eff.side_effects
+                        or eff.defs & live_out[node.index]):
+                    needed.add(id(stmt))
+            elif isinstance(stmt, ir.IfStmt):
+                pass  # kept structurally iff a live statement survives inside
+            else:
+                needed.add(id(stmt))  # side-effecting leaf
+
+    def sweep(stmts: Sequence[ir.P4Stmt]) -> List[ir.P4Stmt]:
+        out: List[ir.P4Stmt] = []
+        for stmt in stmts:
+            if isinstance(stmt, ir.IfStmt):
+                stmt.then_body[:] = sweep(stmt.then_body)
+                stmt.else_body[:] = sweep(stmt.else_body)
+                if stmt.then_body or stmt.else_body:
+                    out.append(stmt)
+                else:
+                    stats.removed_stmts += 1
+            elif isinstance(stmt, ir.ApplyTable):
+                stmt.hit_body[:] = sweep(stmt.hit_body)
+                stmt.miss_body[:] = sweep(stmt.miss_body)
+                if (id(stmt) in needed or stmt.hit_body
+                        or stmt.miss_body):
+                    out.append(stmt)
+                else:
+                    stats.removed_stmts += 1
+            elif id(stmt) in needed:
+                out.append(stmt)
+            else:
+                stats.removed_stmts += 1
+        return out
+
+    before = stats.removed_stmts
+    for attr in _FRAGMENT_ATTRS:
+        stmts = getattr(compiled, attr)
+        stmts[:] = sweep(stmts)
+    return stats.removed_stmts != before
+
+
+# ---------------------------------------------------------------------------
+# 3. Structure pruning
+# ---------------------------------------------------------------------------
+
+def _applied_table_names(compiled: CompiledChecker) -> Set[str]:
+    names: Set[str] = set()
+    for attr in _FRAGMENT_ATTRS:
+        for stmt in ir.walk_stmts(getattr(compiled, attr)):
+            if isinstance(stmt, ir.ApplyTable):
+                names.add(stmt.table)
+    for action in compiled.actions.values():
+        for stmt in ir.walk_stmts(action.body):
+            if isinstance(stmt, ir.ApplyTable):
+                names.add(stmt.table)
+    return names
+
+
+def _prune_structures(compiled: CompiledChecker,
+                      stats: OptimizeStats) -> None:
+    abi = _abi_tables(compiled)
+    applied = _applied_table_names(compiled)
+    dead_tables = [name for name in compiled.tables
+                   if name not in applied and name not in abi]
+    for name in dead_tables:
+        del compiled.tables[name]
+        stats.removed_tables.append(name)
+    if dead_tables:
+        for control, table_names in list(compiled.control_tables.items()):
+            keep = [t for t in table_names if t in compiled.tables]
+            if len(keep) == len(table_names):
+                continue
+            widths = compiled.control_value_widths.get(control, [])
+            # Scalar controls carry an empty width list; only dict/set
+            # controls keep widths parallel to their lookup tables.
+            if len(widths) == len(table_names):
+                compiled.control_value_widths[control] = [
+                    w for t, w in zip(table_names, widths)
+                    if t in compiled.tables]
+            # Keep the (possibly empty) entry: the deployment runtime
+            # iterates these lists when a scenario programs the
+            # control, and an absent key would crash it.
+            compiled.control_tables[control] = keep
+
+    referenced_actions: Set[str] = set()
+    for table in compiled.tables.values():
+        referenced_actions.update(table.actions)
+        if table.default_action is not None:
+            referenced_actions.add(table.default_action[0])
+    dead_actions = [name for name in compiled.actions
+                    if name not in referenced_actions]
+    for name in dead_actions:
+        del compiled.actions[name]
+        stats.removed_actions.append(name)
+
+    touched: Dict[str, Tuple[int, int]] = {}
+    for _, stmt in _iter_all_stmts(compiled):
+        if isinstance(stmt, ir.RegisterRead):
+            reads, writes = touched.get(stmt.register, (0, 0))
+            touched[stmt.register] = (reads + 1, writes)
+        elif isinstance(stmt, ir.RegisterWrite):
+            reads, writes = touched.get(stmt.register, (0, 0))
+            touched[stmt.register] = (reads, writes + 1)
+    dead_regs = [reg for reg in compiled.registers
+                 if touched.get(reg.name, (0, 0)) == (0, 0)]
+    for reg in dead_regs:
+        compiled.registers.remove(reg)
+        stats.removed_registers.append(reg.name)
+
+
+def _iter_all_stmts(compiled: CompiledChecker):
+    for attr in _FRAGMENT_ATTRS:
+        for stmt in ir.walk_stmts(getattr(compiled, attr)):
+            yield attr, stmt
+    for name, action in compiled.actions.items():
+        for stmt in ir.walk_stmts(action.body):
+            yield f"action:{name}", stmt
+
+
+# ---------------------------------------------------------------------------
+# 4. Scratch-field coalescing
+# ---------------------------------------------------------------------------
+
+def _protected_fields(compiled: CompiledChecker) -> Set[str]:
+    prefix = compiled.meta_prefix
+    protected = {compiled.first_hop_meta, compiled.last_hop_meta,
+                 compiled.reject_meta, compiled.switch_id_meta}
+    protected.update(name for name, _ in compiled.metadata
+                     if name.startswith(prefix + "ctrlval"))
+    return protected
+
+
+def _coalesce_fields(compiled: CompiledChecker,
+                     stats: OptimizeStats) -> None:
+    prefix = compiled.meta_prefix
+    protected = _protected_fields(compiled)
+    widths = dict(compiled.metadata)
+    candidates = [name for name, _ in compiled.metadata
+                  if name.startswith(prefix) and name not in protected]
+    if len(candidates) < 2:
+        return
+    cand_paths = {f"meta.{name}" for name in candidates}
+
+    interference: Dict[str, Set[str]] = {f"meta.{n}": set()
+                                         for n in candidates}
+    entry_live: Set[str] = set()
+    for view in checker_placements(compiled):
+        effects = cfg_effects(view.cfg, compiled.tables, compiled.actions)
+        live_in, live_out = liveness(view.cfg, effects)
+        entry_live |= set(live_in[view.cfg.entry]) & cand_paths
+        for node in view.cfg.nodes:
+            eff = effects[node.index]
+            for d in eff.defs & cand_paths:
+                for alive in live_out[node.index] & cand_paths:
+                    if alive != d:
+                        interference[d].add(alive)
+                        interference[alive].add(d)
+
+    # A candidate live at pipeline entry is read-before-write; leave its
+    # zero-initialized container alone.
+    pool = [n for n in candidates if f"meta.{n}" not in entry_live]
+
+    # Merging two fields also merges their dependency chains, which can
+    # *lengthen* the pipeline (two independent register sensors forced
+    # to serialize).  PHV is only worth buying when stages don't pay for
+    # it, so every merge is admitted against the post-DCE stage depth.
+    import copy as _copy
+
+    from ..compiler.linker import standalone_program
+    from ..tofino.stages import pipeline_depth
+
+    def depth_of(checker: CompiledChecker) -> int:
+        return pipeline_depth(standalone_program(checker))
+
+    base_depth = depth_of(compiled)
+    groups: List[Tuple[str, int, Set[str]]] = []  # (rep, width, members)
+    rename: Dict[str, str] = {}
+    pairs: List[Tuple[str, str]] = []
+    for name in pool:
+        path, width = f"meta.{name}", widths[name]
+        for rep, rep_width, members in groups:
+            if rep_width != width:
+                continue
+            if any(m in interference[path] or path in interference[m]
+                   for m in members):
+                continue
+            trial = dict(rename)
+            trial[path] = f"meta.{rep}"
+            probe = _copy.deepcopy(compiled)
+            _rename_fields(probe, trial)
+            if depth_of(probe) > base_depth:
+                continue
+            members.add(path)
+            rename = trial
+            pairs.append((name, rep))
+            break
+        else:
+            groups.append((name, width, {path}))
+    if rename:
+        _rename_fields(compiled, rename)
+        stats.coalesced_fields.extend(pairs)
+
+
+def _rename_fields(compiled: CompiledChecker,
+                   rename: Dict[str, str]) -> None:
+    def fix_expr(expr: ir.P4Expr) -> None:
+        for node in ir.walk_exprs(expr):
+            if isinstance(node, ir.FieldRef) and node.path in rename:
+                object.__setattr__(node, "path", rename[node.path])
+
+    for _, stmt in _iter_all_stmts(compiled):
+        if isinstance(stmt, ir.AssignStmt):
+            stmt.dest = rename.get(stmt.dest, stmt.dest)
+            fix_expr(stmt.value)
+        elif isinstance(stmt, ir.IfStmt):
+            fix_expr(stmt.cond)
+        elif isinstance(stmt, ir.RegisterRead):
+            stmt.dest = rename.get(stmt.dest, stmt.dest)
+            fix_expr(stmt.index)
+        elif isinstance(stmt, ir.RegisterWrite):
+            fix_expr(stmt.index)
+            fix_expr(stmt.value)
+        elif isinstance(stmt, ir.Digest):
+            for expr in stmt.fields:
+                fix_expr(expr)
+    for table in compiled.tables.values():
+        for key in table.keys:
+            key.path = rename.get(key.path, key.path)
+
+
+# ---------------------------------------------------------------------------
+# 5. Metadata pruning
+# ---------------------------------------------------------------------------
+
+def _referenced_meta(compiled: CompiledChecker) -> Set[str]:
+    refs: Set[str] = set()
+
+    def note(path: str) -> None:
+        if path.startswith("meta."):
+            refs.add(path[len("meta."):])
+
+    for _, stmt in _iter_all_stmts(compiled):
+        if isinstance(stmt, ir.AssignStmt):
+            note(stmt.dest)
+        elif isinstance(stmt, ir.RegisterRead):
+            note(stmt.dest)
+        for attr in ("value", "cond", "index"):
+            expr = getattr(stmt, attr, None)
+            if isinstance(expr, ir.P4Expr):
+                for node in ir.walk_exprs(expr):
+                    if isinstance(node, ir.FieldRef):
+                        note(node.path)
+        if isinstance(stmt, ir.Digest):
+            for expr in stmt.fields:
+                for node in ir.walk_exprs(expr):
+                    if isinstance(node, ir.FieldRef):
+                        note(node.path)
+    for table in compiled.tables.values():
+        for key in table.keys:
+            note(key.path)
+    return refs
+
+
+def _prune_metadata(compiled: CompiledChecker,
+                    stats: OptimizeStats) -> None:
+    keep = _referenced_meta(compiled) | _protected_fields(compiled)
+    dead = [(name, width) for name, width in compiled.metadata
+            if name not in keep]
+    if dead:
+        compiled.metadata = [(name, width)
+                             for name, width in compiled.metadata
+                             if name in keep]
+        stats.removed_metadata.extend(dead)
+
+
+# ---------------------------------------------------------------------------
+# Driver
+# ---------------------------------------------------------------------------
+
+def optimize_compiled(compiled: CompiledChecker) -> OptimizeStats:
+    """Optimize a compiled checker in place; returns what changed.
+
+    Safe by construction: every removal is justified by liveness over
+    all four placements, every fold replays the reference interpreter's
+    arithmetic, and everything observable (registers, digests, headers,
+    drops, hop-protocol ABI) is a root.
+    """
+    stats = OptimizeStats()
+    for attr in _FRAGMENT_ATTRS:
+        stmts = getattr(compiled, attr)
+        stmts[:] = _fold_stmts(stmts, stats)
+    for action in compiled.actions.values():
+        action.body[:] = _fold_stmts(action.body, stats)
+    while _dce_round(compiled, stats):
+        pass
+    _prune_structures(compiled, stats)
+    _coalesce_fields(compiled, stats)
+    _prune_metadata(compiled, stats)
+    return stats
+
+
+__all__ = ["OptimizeStats", "optimize_compiled"]

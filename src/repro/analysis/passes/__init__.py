@@ -1,0 +1,61 @@
+"""Lint pass registry.
+
+A pass is a function ``(AnalysisUnit) -> List[Diagnostic]`` registered
+under its stable rule id with the :func:`lint_pass` decorator:
+
+    @lint_pass("IH001")
+    def uninit_read(unit): ...
+
+:func:`run_passes` runs every registered pass (or a subset) and returns
+the merged, deterministically ordered diagnostic list.  Registration is
+import-time and ordered, so the framework stays open for future passes
+(e.g. a cross-switch checker-state race detector) without touching the
+driver: drop a module next to these, import it here, done.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Optional
+
+from ..diagnostics import Diagnostic, sort_diagnostics
+from ..unit import AnalysisUnit
+
+LintPass = Callable[[AnalysisUnit], List[Diagnostic]]
+
+#: rule id -> pass function, in registration order.
+REGISTRY: Dict[str, LintPass] = {}
+
+
+def lint_pass(rule_id: str) -> Callable[[LintPass], LintPass]:
+    def register(fn: LintPass) -> LintPass:
+        if rule_id in REGISTRY:
+            raise ValueError(f"lint pass {rule_id!r} registered twice")
+        REGISTRY[rule_id] = fn
+        return fn
+    return register
+
+
+def run_passes(unit: AnalysisUnit,
+               only: Optional[Iterable[str]] = None) -> List[Diagnostic]:
+    """Run registered passes over ``unit``; ``only`` restricts to the
+    given rule ids.  Output order is deterministic."""
+    selected = list(REGISTRY) if only is None else list(only)
+    diags: List[Diagnostic] = []
+    for rule_id in selected:
+        try:
+            fn = REGISTRY[rule_id]
+        except KeyError:
+            raise ValueError(f"unknown lint rule {rule_id!r}; known: "
+                             f"{', '.join(REGISTRY)}") from None
+        diags.extend(fn(unit))
+    return sort_diagnostics(diags)
+
+
+# Import-time registration of the built-in rules (order = rule id order).
+from . import uninit      # noqa: E402,F401  IH001
+from . import registers   # noqa: E402,F401  IH002 + IH004
+from . import reachability  # noqa: E402,F401  IH003 + IH007
+from . import headers     # noqa: E402,F401  IH005
+from . import widths      # noqa: E402,F401  IH006
+
+__all__ = ["LintPass", "REGISTRY", "lint_pass", "run_passes"]

@@ -1,0 +1,99 @@
+"""IH005 — table key referencing a possibly-invalid header.
+
+A match key of the form ``hdr.<bind>.<field>`` reads a header that may
+not be valid at apply time unless one of three things guarantees it:
+
+* the parser extracts ``bind`` on **every** start→accept path
+  (:func:`~repro.analysis.cfg.always_extracted`);
+* an earlier ``SetValid`` in the same straight-line context;
+* an enclosing ``if`` whose condition carries a positive
+  ``hdr.<bind>.isValid()`` conjunct.
+
+The walk runs over the four placement views (so the validity guards the
+linker synthesizes around telemetry/checker fragments count) plus raw
+action bodies (which get no such guard).  Reading an invalid header
+yields 0 on this substrate rather than trapping, so the finding is a
+warning: the match silently degrades to matching on zero.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Set, Tuple
+
+from ...p4 import ir
+from ..cfg import always_extracted
+from ..diagnostics import Diagnostic, Severity
+from ..unit import AnalysisUnit
+from . import lint_pass
+
+
+def _valid_conjuncts(cond: ir.P4Expr) -> Set[str]:
+    """Headers positively asserted valid by top-level ``&&`` conjuncts."""
+    out: Set[str] = set()
+
+    def walk(expr: ir.P4Expr) -> None:
+        if isinstance(expr, ir.BinExpr) and expr.op == "&&":
+            walk(expr.left)
+            walk(expr.right)
+        elif isinstance(expr, ir.ValidRef):
+            out.add(expr.header)
+
+    walk(cond)
+    return out
+
+
+@lint_pass("IH005")
+def possibly_invalid_key(unit: AnalysisUnit) -> List[Diagnostic]:
+    diags: List[Diagnostic] = []
+    seen: Set[Tuple[str, str]] = set()
+    must_valid = always_extracted(unit.program.parser)
+    tables = unit.compiled.tables
+
+    def flag(table_name: str, key: ir.TableKey, bind: str,
+             block: str, site: ir.ApplyTable) -> None:
+        if (table_name, bind) in seen:
+            return
+        seen.add((table_name, bind))
+        diags.append(Diagnostic(
+            rule="IH005", severity=Severity.WARNING,
+            message=f"table {table_name!r} matches on {key.path!r} but "
+                    f"header {bind!r} may be invalid here; the key "
+                    f"silently reads 0 when it is",
+            span=site.span, path=key.path, block=block,
+            hint=f"guard the apply with hdr.{bind}.isValid(), or key "
+                 f"on metadata copied out under a validity check"))
+
+    def check_apply(site: ir.ApplyTable, ctx: Set[str],
+                    block: str) -> None:
+        table = tables.get(site.table)
+        if table is None:
+            return
+        for key in table.keys:
+            if not key.path.startswith("hdr."):
+                continue
+            bind = key.path.split(".")[1]
+            if bind not in ctx:
+                flag(site.table, key, bind, block, site)
+
+    def scan(stmts: Sequence[ir.P4Stmt], ctx: Set[str],
+             block: str) -> None:
+        ctx = set(ctx)
+        for stmt in stmts:
+            if isinstance(stmt, ir.SetValid):
+                ctx.add(stmt.header)
+            elif isinstance(stmt, ir.SetInvalid):
+                ctx.discard(stmt.header)
+            elif isinstance(stmt, ir.IfStmt):
+                scan(stmt.then_body, ctx | _valid_conjuncts(stmt.cond),
+                     block)
+                scan(stmt.else_body, ctx, block)
+            elif isinstance(stmt, ir.ApplyTable):
+                check_apply(stmt, ctx, block)
+                scan(stmt.hit_body, ctx, block)
+                scan(stmt.miss_body, ctx, block)
+
+    for view in unit.placements:
+        scan(view.stmts, must_valid, view.name)
+    for name, action in unit.compiled.actions.items():
+        scan(action.body, must_valid, f"action:{name}")
+    return diags

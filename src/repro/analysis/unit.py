@@ -1,0 +1,171 @@
+"""The :class:`AnalysisUnit`: everything a pass needs about one checker.
+
+A unit wraps one :class:`~repro.compiler.codegen.CompiledChecker` with:
+
+* the named pipeline *fragments* (ingress prologue, init, egress
+  prologue, telemetry, checker, strip) — the blocks lint findings are
+  attributed to;
+* the four :class:`~repro.analysis.cfg.PlacementView` linearizations and
+  their per-node :class:`~repro.analysis.dataflow.Effects`;
+* lazily solved liveness and reaching-definitions facts per placement;
+* the standalone linked program (checker + minimal L2 forwarding), which
+  supplies the parser graph and the field-width map;
+* action-body CFGs, so passes cover action code too.
+
+Facts are cached per unit; build a fresh unit after mutating the
+compiled checker (the optimizer does exactly that between iterations).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+from ..compiler.codegen import CompiledChecker
+from ..p4 import ir
+from .cfg import CFG, PlacementView, build_cfg, checker_placements
+from .dataflow import (Effects, cfg_effects, liveness,
+                       reaching_definitions)
+
+#: Fragment labels in placement order.
+FRAGMENTS = ("ingress_prologue", "init", "egress_prologue",
+             "telemetry", "checker", "strip")
+
+# v1model standard metadata widths (mirrors repro.tofino.phv).
+STANDARD_METADATA_WIDTHS: Dict[str, int] = {
+    "standard_metadata.ingress_port": 9,
+    "standard_metadata.egress_spec": 9,
+    "standard_metadata.egress_port": 9,
+    "standard_metadata.packet_length": 32,
+}
+
+
+class AnalysisUnit:
+    """One compiled checker prepared for lint/optimize passes."""
+
+    def __init__(self, compiled: CompiledChecker,
+                 program: Optional[ir.P4Program] = None):
+        self.compiled = compiled
+        if program is None:
+            from ..compiler.linker import standalone_program
+            program = standalone_program(compiled)
+        #: The checker linked into a minimal forwarding program — parser
+        #: and header-width context (placement analyses use the shared
+        #: fragment statements, not this copy).
+        self.program = program
+        self.placements: List[PlacementView] = checker_placements(compiled)
+        self._effects: Dict[int, Dict[int, Effects]] = {}
+        self._liveness: Dict[int, Tuple[Dict[int, FrozenSet[str]],
+                                        Dict[int, FrozenSet[str]]]] = {}
+        self._reaching: Dict[int, Dict[int, Dict[str, FrozenSet[int]]]] = {}
+        self._widths: Optional[Dict[str, int]] = None
+
+    # -- structure -----------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.compiled.name
+
+    def fragments(self) -> Dict[str, List[ir.P4Stmt]]:
+        c = self.compiled
+        return {
+            "ingress_prologue": c.ingress_prologue,
+            "init": c.init_stmts,
+            "egress_prologue": c.egress_prologue,
+            "telemetry": c.tele_stmts,
+            "checker": c.check_stmts,
+            "strip": c.strip_stmts,
+        }
+
+    def iter_stmts(self) -> Iterator[Tuple[str, ir.P4Stmt]]:
+        """(fragment label, statement) over every fragment statement,
+        recursing into branches."""
+        for label, stmts in self.fragments().items():
+            for stmt in ir.walk_stmts(stmts):
+                yield label, stmt
+
+    def iter_action_stmts(self) -> Iterator[Tuple[str, ir.P4Stmt]]:
+        for name, action in self.compiled.actions.items():
+            for stmt in ir.walk_stmts(action.body):
+                yield name, stmt
+
+    def action_cfgs(self) -> Dict[str, CFG]:
+        return {name: build_cfg(action.body)
+                for name, action in self.compiled.actions.items()}
+
+    # -- solved facts (cached per placement) ---------------------------
+
+    def effects(self, view: PlacementView) -> Dict[int, Effects]:
+        key = id(view)
+        if key not in self._effects:
+            self._effects[key] = cfg_effects(
+                view.cfg, self.compiled.tables, self.compiled.actions)
+        return self._effects[key]
+
+    def liveness(self, view: PlacementView
+                 ) -> Tuple[Dict[int, FrozenSet[str]],
+                            Dict[int, FrozenSet[str]]]:
+        key = id(view)
+        if key not in self._liveness:
+            self._liveness[key] = liveness(view.cfg, self.effects(view))
+        return self._liveness[key]
+
+    def reaching(self, view: PlacementView
+                 ) -> Dict[int, Dict[str, FrozenSet[int]]]:
+        key = id(view)
+        if key not in self._reaching:
+            fields = [f"meta.{name}" for name, _ in self.compiled.metadata]
+            self._reaching[key] = reaching_definitions(
+                view.cfg, self.effects(view), fields)
+        return self._reaching[key]
+
+    # -- context -------------------------------------------------------
+
+    def field_widths(self) -> Dict[str, int]:
+        """Declared width of every addressable field: checker metadata,
+        header fields of the linked program, standard metadata."""
+        if self._widths is None:
+            widths = dict(STANDARD_METADATA_WIDTHS)
+            for name, width in self.compiled.metadata:
+                widths[f"meta.{name}"] = width
+            for name, width in self.program.metadata:
+                widths.setdefault(f"meta.{name}", width)
+            for bind, htype in self.program.bind_types().items():
+                for fdef in htype.fields:
+                    widths[f"hdr.{bind}.{fdef.name}"] = fdef.width
+            self._widths = widths
+        return self._widths
+
+    def register_occurrences(self
+                             ) -> Dict[str, Dict[str, List[ir.P4Stmt]]]:
+        """Per register: the ``RegisterRead``/``RegisterWrite``
+        statements referencing it, across fragments and action bodies,
+        keyed by the fragment (or ``action:<name>``) they live in."""
+        occ: Dict[str, Dict[str, List[ir.P4Stmt]]] = {
+            reg.name: {} for reg in self.compiled.registers}
+
+        def note(register: str, where: str, stmt: ir.P4Stmt) -> None:
+            occ.setdefault(register, {}).setdefault(where, []).append(stmt)
+
+        for label, stmt in self.iter_stmts():
+            if isinstance(stmt, (ir.RegisterRead, ir.RegisterWrite)):
+                note(stmt.register, label, stmt)
+        for name, stmt in self.iter_action_stmts():
+            if isinstance(stmt, (ir.RegisterRead, ir.RegisterWrite)):
+                note(stmt.register, f"action:{name}", stmt)
+        return occ
+
+    def applied_tables(self) -> Dict[str, List[Tuple[str, ir.ApplyTable]]]:
+        """table name -> [(fragment label, apply statement)] over every
+        fragment and action body."""
+        applies: Dict[str, List[Tuple[str, ir.ApplyTable]]] = {}
+        for label, stmt in self.iter_stmts():
+            if isinstance(stmt, ir.ApplyTable):
+                applies.setdefault(stmt.table, []).append((label, stmt))
+        for name, stmt in self.iter_action_stmts():
+            if isinstance(stmt, ir.ApplyTable):
+                applies.setdefault(stmt.table, []).append(
+                    (f"action:{name}", stmt))
+        return applies
+
+
+__all__ = ["AnalysisUnit", "FRAGMENTS", "STANDARD_METADATA_WIDTHS"]

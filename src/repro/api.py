@@ -1,10 +1,12 @@
 """The stable public API facade.
 
 Everything a script, notebook, or downstream harness needs lives here
-behind five verbs with uniform keyword arguments:
+behind six verbs with uniform keyword arguments:
 
 * :func:`compile_indus` — Indus source (or a bundled property name, or
   a ``.indus`` path) to a compiled checker;
+* :func:`lint`         — dataflow diagnostics over a compiled checker
+  (``repro lint`` is this verb on the command line);
 * :func:`deploy`       — a compiled checker onto a topology (or a
   difftest scenario) as a running :class:`~repro.runtime.deployment.
   HydraDeployment`;
@@ -24,7 +26,7 @@ Uniform keywords across the verbs, always keyword-only:
 * ``workers=`` — process fan-out where the verb supports it
   (:mod:`repro.parallel`); ``1`` means serial, in-process.
 
-Stability promise: these five signatures are the compatibility surface
+Stability promise: these six signatures are the compatibility surface
 the CLI, the experiment harnesses, and the tests are written against.
 Internal modules (``repro.difftest.harness``, ``repro.parallel.runner``,
 …) may reshuffle between releases; this module will not, short of a
@@ -40,15 +42,20 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Dict, List, Optional, Union
 
-__all__ = ["bench", "compile_indus", "deploy", "difftest", "run_scenario"]
+__all__ = ["bench", "compile_indus", "deploy", "difftest", "lint",
+           "run_scenario"]
 
 
-def compile_indus(program: str, *, name: Optional[str] = None) -> Any:
+def compile_indus(program: str, *, name: Optional[str] = None,
+                  optimize: bool = False) -> Any:
     """Compile an Indus checker to P4.
 
     ``program`` may be a bundled property name (``"loops"``, see
     ``python -m repro properties``), a path to an ``.indus`` file, or
-    Indus source text itself.  Returns the
+    Indus source text itself.  ``optimize=True`` runs the dataflow
+    optimizer (dead code/table/register elimination, constant folding,
+    scratch-field coalescing — behaviorally identical, validated by the
+    differential oracle).  Returns the
     :class:`~repro.compiler.codegen.CompiledChecker` that
     :func:`deploy` consumes.
     """
@@ -57,14 +64,36 @@ def compile_indus(program: str, *, name: Optional[str] = None) -> Any:
 
     if program in PROPERTIES:
         return compile_program(load_source(program),
-                               name=name or program)
+                               name=name or program, optimize=optimize)
     if "\n" not in program and "{" not in program \
             and os.path.exists(program):
         with open(program) as handle:
             source = handle.read()
         default = os.path.splitext(os.path.basename(program))[0]
-        return compile_program(source, name=name or default)
-    return compile_program(program, name=name or "checker")
+        return compile_program(source, name=name or default,
+                               optimize=optimize)
+    return compile_program(program, name=name or "checker",
+                           optimize=optimize)
+
+
+def lint(program: Any, *, name: Optional[str] = None,
+         only: Optional[List[str]] = None) -> List[Any]:
+    """Lint an Indus checker: dataflow diagnostics over the compiled IR.
+
+    ``program`` accepts everything :func:`compile_indus` does, or an
+    already-compiled :class:`~repro.compiler.codegen.CompiledChecker`.
+    ``only`` restricts to specific rule ids (``["IH001", ...]``).
+    Returns the deterministically ordered
+    :class:`~repro.analysis.diagnostics.Diagnostic` list; each entry
+    carries the rule id, severity, message, Indus source span, and a
+    fix hint.
+    """
+    from .analysis import lint_compiled
+    from .compiler.codegen import CompiledChecker
+
+    if not isinstance(program, CompiledChecker):
+        program = compile_indus(program, name=name)
+    return lint_compiled(program, only=only)
 
 
 def deploy(compiled: Any, *, scenario: Any = None, topology: Any = None,
@@ -97,7 +126,8 @@ def deploy(compiled: Any, *, scenario: Any = None, topology: Any = None,
 
 
 def run_scenario(scenario: Union[int, Any] = None, *,
-                 seed: Optional[int] = None, obs: Any = None) -> Any:
+                 seed: Optional[int] = None, obs: Any = None,
+                 optimize: bool = False) -> Any:
     """Run one differential-oracle scenario end to end: compile, deploy
     under both P4 engines, replay through the reference Indus monitor,
     compare all three.
@@ -119,14 +149,15 @@ def run_scenario(scenario: Union[int, Any] = None, *,
     registry = None
     if obs is not None and obs.registry.live:
         registry = obs.registry
-    return _run(scenario, registry=registry)
+    return _run(scenario, registry=registry, optimize=optimize)
 
 
 def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
              inject_bug: bool = False, stop_on_failure: bool = True,
              obs: Any = None, timeout_s: float = 60.0,
              quarantine_dir: str = "difftest_failures",
-             progress: Optional[Callable[[str], None]] = None) -> Any:
+             progress: Optional[Callable[[str], None]] = None,
+             optimize: bool = False) -> Any:
     """Run a differential-oracle campaign over ``iters`` seeds starting
     at ``seed``.
 
@@ -143,11 +174,13 @@ def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
                         stop_on_failure=stop_on_failure,
                         progress=progress, obs=obs, workers=workers,
                         timeout_s=timeout_s,
-                        quarantine_dir=quarantine_dir)
+                        quarantine_dir=quarantine_dir,
+                        optimize=optimize)
 
 
 def bench(*, packets: int = 5000, replay: bool = True, workers: int = 1,
-          out: Optional[str] = None) -> Dict[str, Any]:
+          out: Optional[str] = None,
+          optimize: bool = False) -> Dict[str, Any]:
     """Benchmark the behavioral model: interp vs fast packets/sec, plus
     a campus-replay goodput parity check and a metered metrics snapshot.
 
@@ -159,4 +192,4 @@ def bench(*, packets: int = 5000, replay: bool = True, workers: int = 1,
     from .experiments.bench import run_bench
 
     return run_bench(packets=packets, replay=replay, out_path=out,
-                     workers=workers)
+                     workers=workers, optimize=optimize)

@@ -4,6 +4,7 @@ Commands:
 
 * ``check <file.indus>``       — parse + type-check a program
 * ``compile <name-or-file>``   — compile to P4 and print the code
+* ``lint <target>``            — dataflow diagnostics over a checker
 * ``properties``               — list the bundled property library
 * ``table1``                   — reproduce Table 1
 * ``fig12``                    — run the Figure 12 RTT experiment
@@ -83,6 +84,53 @@ def cmd_compile(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .analysis import (lint_compiled, max_severity, render_json,
+                           Severity)
+    from .compiler import compile_program
+
+    threshold = Severity.parse(args.fail_on)
+    if args.all:
+        from .properties import PROPERTIES, load_source
+
+        targets = [(name, load_source(name)) for name in sorted(PROPERTIES)]
+    elif args.target is None:
+        raise SystemExit("error: give a target (property name, .indus "
+                         "file, or difftest seed) or --all")
+    elif args.target.lstrip("-").isdigit():
+        from .difftest.scenario import gen_scenario
+
+        seed = int(args.target)
+        targets = [(f"dt{seed}", gen_scenario(seed).source())]
+    else:
+        targets = [_load_program_text(args.target)]
+    only = [r.strip() for r in args.only.split(",")] if args.only else None
+    failed = False
+    json_blobs = []
+    for name, source in targets:
+        try:
+            compiled = compile_program(source, name=name)
+        except IndusError as exc:
+            print(f"{name}: error: {exc}", file=sys.stderr)
+            return 1
+        diags = lint_compiled(compiled, only=only)
+        worst = max_severity(diags)
+        if worst is not None and worst >= threshold:
+            failed = True
+        if args.json:
+            json_blobs.append(render_json(diags, name=name))
+        else:
+            for diag in diags:
+                print(diag.format(name=name))
+            label = ("clean" if not diags else
+                     f"{len(diags)} finding(s), worst {worst.label}")
+            print(f"{name}: {label}")
+    if args.json:
+        print(json_blobs[0] if len(json_blobs) == 1
+              else "[\n" + ",\n".join(json_blobs) + "\n]")
+    return 1 if failed else 0
+
+
 def cmd_properties(_args: argparse.Namespace) -> int:
     from .properties import PROPERTIES, indus_loc
 
@@ -94,10 +142,10 @@ def cmd_properties(_args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_table1(_args: argparse.Namespace) -> int:
+def cmd_table1(args: argparse.Namespace) -> int:
     from .experiments import compute_table, format_table
 
-    print(format_table(compute_table()))
+    print(format_table(compute_table(optimize=args.optimize)))
     return 0
 
 
@@ -106,7 +154,7 @@ def cmd_fig12(args: argparse.Namespace) -> int:
 
     config = Fig12Config(duration_s=args.duration,
                          load_bps_per_pair=args.load * 1e6,
-                         engine=args.engine)
+                         engine=args.engine, optimize=args.optimize)
     checkers = args.checkers.split(",") if args.checkers else None
     print(f"running Figure 12 (duration {args.duration}s, "
           f"{args.load} Mb/s per pair, "
@@ -141,7 +189,8 @@ def cmd_bench(args: argparse.Namespace) -> int:
           + (f", {args.workers} workers for side tasks"
              if args.workers > 1 else "") + ")...")
     result = bench(packets=args.packets, replay=not args.no_replay,
-                   out=args.out, workers=args.workers)
+                   out=args.out, workers=args.workers,
+                   optimize=args.optimize)
     print(format_bench(result))
     if args.out:
         print(f"wrote {args.out}")
@@ -158,7 +207,7 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     summary = difftest(seed=args.seed, iters=args.iters,
                        inject_bug=args.inject_bug, progress=print,
                        workers=args.workers, timeout_s=args.timeout,
-                       quarantine_dir=args.out)
+                       quarantine_dir=args.out, optimize=args.optimize)
     if summary.workers > 1:
         if summary.respawns:
             print(f"worker respawns: {summary.respawns}")
@@ -354,10 +403,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print a resource summary instead of the P4 code")
     p.set_defaults(fn=cmd_compile)
 
+    p = sub.add_parser(
+        "lint",
+        help="dataflow diagnostics over a compiled checker "
+             "(uninitialized reads, dead registers/tables, width "
+             "truncation, ...)")
+    p.add_argument("target", nargs="?", default=None,
+                   help="bundled property name, .indus file, or a "
+                        "difftest scenario seed (integer)")
+    p.add_argument("--all", action="store_true",
+                   help="lint every bundled property")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of text")
+    p.add_argument("--only", default="",
+                   help="comma-separated rule ids to run (e.g. "
+                        "IH001,IH006); default all")
+    p.add_argument("--fail-on", default="error",
+                   choices=["info", "warn", "warning", "error"],
+                   help="exit nonzero when a finding at or above this "
+                        "severity exists (default error)")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("properties", help="list the property library")
     p.set_defaults(fn=cmd_properties)
 
     p = sub.add_parser("table1", help="reproduce Table 1")
+    p.add_argument("--optimize", action="store_true",
+                   help="add dataflow-optimizer stage/PHV delta columns")
     p.set_defaults(fn=cmd_table1)
 
     p = sub.add_parser("fig12", help="run the Figure 12 RTT experiment")
@@ -373,6 +445,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="run the two arms in a process pool "
                         "(default 1 = serial; results are identical)")
+    p.add_argument("--optimize", action="store_true",
+                   help="run the dataflow optimizer on every checker")
     p.set_defaults(fn=cmd_fig12)
 
     p = sub.add_parser(
@@ -388,6 +462,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="offload replay/snapshot side tasks to a "
                         "process pool; the timed pps loop stays serial "
                         "(default 1)")
+    p.add_argument("--optimize", action="store_true",
+                   help="benchmark the dataflow-optimized checker")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -412,6 +488,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="per-scenario wall-clock budget in seconds for "
                         "parallel runs; a hung worker is killed and the "
                         "seed quarantined (default 60)")
+    p.add_argument("--optimize", action="store_true",
+                   help="run each scenario's checker through the "
+                        "dataflow optimizer first (the oracle then "
+                        "validates the optimizer itself)")
     p.set_defaults(fn=cmd_difftest)
 
     p = sub.add_parser(

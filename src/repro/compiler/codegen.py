@@ -33,7 +33,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..indus import ast
-from ..indus.errors import CompileError
+from ..indus.errors import CompileError, SourceSpan
 from ..indus.interp import _eval_const
 from ..indus.parser import parse
 from ..indus.typechecker import CheckedProgram, check
@@ -76,6 +76,37 @@ DEFAULT_BINDINGS: Dict[str, str] = {
 
 # Annotations of the form "<bind>_is_valid" read header validity.
 VALID_SUFFIX = "_is_valid"
+
+
+def _tag_expr(expr: ir.P4Expr, span: SourceSpan) -> ir.P4Expr:
+    """Stamp provenance onto a lowered expression (frozen dataclass, so
+    the write reaches around immutability).  Only fills in unknown spans:
+    sub-expressions tagged during their own translation keep the more
+    precise location."""
+    if span.line and not expr.span.line:
+        object.__setattr__(expr, "span", span)
+    return expr
+
+
+def _tag_stmt(stmt: ir.P4Stmt, span: SourceSpan) -> ir.P4Stmt:
+    """Stamp provenance onto a lowered statement and its nested bodies.
+    Statements already tagged (from a deeper translation) are left
+    alone, so the innermost Indus statement wins."""
+    if not span.line:
+        return stmt
+    if not stmt.span.line:
+        stmt.span = span
+    if isinstance(stmt, ir.IfStmt):
+        for inner in stmt.then_body:
+            _tag_stmt(inner, span)
+        for inner in stmt.else_body:
+            _tag_stmt(inner, span)
+    elif isinstance(stmt, ir.ApplyTable):
+        for inner in stmt.hit_body:
+            _tag_stmt(inner, span)
+        for inner in stmt.miss_body:
+            _tag_stmt(inner, span)
+    return stmt
 
 
 @dataclass
@@ -467,7 +498,12 @@ class IndusCompiler:
             self._pending = []
             translated = self._stmt(stmt)
             # Table applies / register reads required by this statement's
-            # expressions land immediately before it (Section 4.1).
+            # expressions land immediately before it (Section 4.1); they
+            # inherit the statement's source span.
+            for emitted in self._pending:
+                _tag_stmt(emitted, stmt.span)
+            for emitted in translated:
+                _tag_stmt(emitted, stmt.span)
             out.extend(self._pending)
             out.extend(translated)
             self._pending = saved_pending
@@ -751,6 +787,9 @@ class IndusCompiler:
     # ==================================================================
 
     def _expr(self, expr: ast.Expr) -> ir.P4Expr:
+        return _tag_expr(self._expr_lowered(expr), expr.span)
+
+    def _expr_lowered(self, expr: ast.Expr) -> ir.P4Expr:
         if isinstance(expr, ast.IntLit):
             width = expr.ty.width if isinstance(expr.ty, BitType) else 32
             return ir.Const(expr.value, width)
@@ -1092,13 +1131,25 @@ class IndusCompiler:
 def compile_program(source_or_checked, name: str = "checker",
                     bindings: Optional[Dict[str, str]] = None,
                     namespace: str = "",
-                    eth_type: int = ETH_TYPE_HYDRA) -> CompiledChecker:
-    """Compile Indus source text (or an already-checked program) to P4 IR."""
+                    eth_type: int = ETH_TYPE_HYDRA,
+                    optimize: bool = False) -> CompiledChecker:
+    """Compile Indus source text (or an already-checked program) to P4 IR.
+
+    ``optimize=True`` additionally runs the dataflow optimizer
+    (:func:`repro.analysis.optimize.optimize_compiled`): constant
+    folding, liveness-driven dead-code/table/register elimination, and
+    scratch-field coalescing — behaviorally identical by construction
+    and validated against the differential oracle.
+    """
     if isinstance(source_or_checked, str):
         checked = check(parse(source_or_checked))
     elif isinstance(source_or_checked, CheckedProgram):
         checked = source_or_checked
     else:
         raise TypeError("expected Indus source text or a CheckedProgram")
-    return IndusCompiler(checked, name=name, bindings=bindings,
-                         namespace=namespace, eth_type=eth_type).compile()
+    compiled = IndusCompiler(checked, name=name, bindings=bindings,
+                             namespace=namespace, eth_type=eth_type).compile()
+    if optimize:
+        from ..analysis.optimize import optimize_compiled
+        optimize_compiled(compiled)
+    return compiled

@@ -27,7 +27,8 @@ from typing import Any, Callable, Dict, List, Optional
 from .genprog import GenProgram, gen_oracle_program
 from .harness import (DiffFailure, ScenarioResult, build_packet,
                       build_scenario_deployment, deploy_scenario,
-                      inject_mutation, run_scenario)
+                      inject_mutation, kill_register_write, orphan_table,
+                      run_scenario)
 from .minimize import Minimizer, dump_reproducer
 from .scenario import PacketSpec, Scenario, gen_scenario
 
@@ -36,7 +37,8 @@ __all__ = [
     "PacketSpec", "Scenario", "ScenarioResult", "SeedOutcome",
     "build_packet", "build_scenario_deployment", "deploy_scenario",
     "dump_reproducer", "gen_oracle_program", "gen_scenario",
-    "inject_mutation", "run_difftest", "run_scenario", "run_seed",
+    "inject_mutation", "kill_register_write", "orphan_table",
+    "run_difftest", "run_scenario", "run_seed",
 ]
 
 
@@ -68,7 +70,7 @@ class SeedOutcome:
 
 
 def run_seed(seed: int, inject_bug: bool = False,
-             registry: Any = None) -> SeedOutcome:
+             registry: Any = None, optimize: bool = False) -> SeedOutcome:
     """Run the oracle on one seed — the shared per-iteration step of the
     serial loop and every fleet worker, so both paths compute literally
     the same thing for a given seed."""
@@ -83,13 +85,14 @@ def run_seed(seed: int, inject_bug: bool = False,
             if note is not None:
                 notes.append(note)
 
-        result = run_scenario(scenario, mutate=mutate, registry=registry)
+        result = run_scenario(scenario, mutate=mutate, registry=registry,
+                              optimize=optimize)
         if notes:
             outcome.mutated = True
             outcome.mutation_note = notes[0]
             outcome.caught = result.failure is not None
         return outcome
-    result = run_scenario(scenario, registry=registry)
+    result = run_scenario(scenario, registry=registry, optimize=optimize)
     outcome.failure = result.failure
     outcome.packets_run = result.packets_run
     outcome.hops_checked = result.hops_checked
@@ -147,6 +150,7 @@ def run_difftest(seed: int = 0, iters: int = 100,
                  workers: int = 1,
                  timeout_s: float = 60.0,
                  quarantine_dir: str = "difftest_failures",
+                 optimize: bool = False,
                  ) -> DifftestSummary:
     """Run ``iters`` oracle iterations starting at ``seed``.
 
@@ -174,7 +178,8 @@ def run_difftest(seed: int = 0, iters: int = 100,
 
         options = FleetOptions(workers=workers, inject_bug=inject_bug,
                                timeout_s=timeout_s,
-                               quarantine_dir=quarantine_dir)
+                               quarantine_dir=quarantine_dir,
+                               optimize=optimize)
         return run_fleet(seed, iters, options=options, obs=obs,
                          progress=progress)
     registry = None
@@ -183,7 +188,7 @@ def run_difftest(seed: int = 0, iters: int = 100,
     summary = DifftestSummary()
     for i in range(iters):
         outcome = run_seed(seed + i, inject_bug=inject_bug,
-                           registry=registry)
+                           registry=registry, optimize=optimize)
         summary.absorb(outcome)
         if progress and outcome.mutated and outcome.caught:
             progress(f"seed {seed + i}: mutation caught "

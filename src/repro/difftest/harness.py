@@ -328,14 +328,17 @@ def _build_trace(scenario: Scenario, topology,
 
 def run_scenario(scenario: Scenario,
                  mutate: Optional[Callable[[CompiledChecker], Any]] = None,
-                 registry=None) -> ScenarioResult:
+                 registry=None, optimize: bool = False) -> ScenarioResult:
     """Run one scenario through all three levels and compare.
 
     ``mutate``, when given, is applied to the compiled checker before
     deployment — the injected-bug hook used to validate that the oracle
     actually catches compiler defects.  ``registry``, when given, is a
     live metrics registry shared by both engine deployments (the
-    verdicts must be identical with or without it).
+    verdicts must be identical with or without it).  ``optimize`` runs
+    the dataflow optimizer on the compiled checker before deployment —
+    the campaign knob used to validate that optimization changes
+    nothing observable.
     """
     result = ScenarioResult(scenario=scenario)
 
@@ -348,7 +351,8 @@ def run_scenario(scenario: Scenario,
 
     source = scenario.source()
     try:
-        compiled = compile_program(source, name=f"dt{scenario.seed}")
+        compiled = compile_program(source, name=f"dt{scenario.seed}",
+                                   optimize=optimize)
     except Exception as exc:
         return fail("compile", f"compiler rejected generated program: {exc}")
     if mutate is not None:
@@ -492,21 +496,96 @@ def _collect_mutable(stmts: List[ir.P4Stmt]) -> List[Tuple[Any, str]]:
     return out
 
 
-def inject_mutation(compiled: CompiledChecker,
-                    rng: random.Random) -> Optional[str]:
-    """Mutate one expression of the compiled init/tele/checker blocks in
-    place (swap a binary operator or perturb a 16-bit constant),
-    simulating a codegen bug.  Returns a description, or None if the
-    program offers no mutation point."""
-    points = []
+def _find_stmt_site(stmts: List[ir.P4Stmt], pred
+                    ) -> Optional[Tuple[List[ir.P4Stmt], int]]:
+    """The (body list, index) of the first statement matching ``pred``,
+    recursing into branches."""
+    for i, stmt in enumerate(stmts):
+        if pred(stmt):
+            return stmts, i
+        bodies: List[List[ir.P4Stmt]] = []
+        if isinstance(stmt, ir.IfStmt):
+            bodies = [stmt.then_body, stmt.else_body]
+        elif isinstance(stmt, ir.ApplyTable):
+            bodies = [stmt.hit_body, stmt.miss_body]
+        for body in bodies:
+            found = _find_stmt_site(body, pred)
+            if found is not None:
+                return found
+    return None
+
+
+def kill_register_write(compiled: CompiledChecker) -> Optional[str]:
+    """Delete the first register write of the telemetry/checker blocks —
+    a lint-visible codegen bug: the register's remaining reads only ever
+    see the initial value (``IH002``).  Returns a description, or None
+    if the program writes no register."""
+    for label, stmts in (("telemetry", compiled.tele_stmts),
+                         ("checker", compiled.check_stmts)):
+        site = _find_stmt_site(
+            stmts, lambda s: isinstance(s, ir.RegisterWrite))
+        if site is not None:
+            body, index = site
+            stmt = body[index]
+            del body[index]
+            return f"{label}: killed write to register {stmt.register!r}"
+    return None
+
+
+def orphan_table(compiled: CompiledChecker) -> Optional[str]:
+    """Delete the first non-ABI table apply from the compiled fragments,
+    leaving the table declared but unreachable — a lint-visible codegen
+    bug (``IH007`` dead table).  Returns a description, or None if there
+    is no such apply."""
+    abi = {compiled.inject_table, compiled.strip_table,
+           compiled.switch_id_table}
+    for label, stmts in (("ingress_prologue", compiled.ingress_prologue),
+                         ("init", compiled.init_stmts),
+                         ("egress_prologue", compiled.egress_prologue),
+                         ("telemetry", compiled.tele_stmts),
+                         ("checker", compiled.check_stmts)):
+        site = _find_stmt_site(
+            stmts, lambda s: (isinstance(s, ir.ApplyTable)
+                              and s.table not in abi))
+        if site is not None:
+            body, index = site
+            stmt = body[index]
+            del body[index]
+            return f"{label}: orphaned table {stmt.table!r}"
+    return None
+
+
+def inject_mutation(compiled: CompiledChecker, rng: random.Random,
+                    kinds: Tuple[str, ...] = ("op", "const"),
+                    ) -> Optional[str]:
+    """Mutate the compiled checker in place, simulating a codegen bug.
+    Returns a description, or None if the program offers no mutation
+    point.
+
+    The default kinds mutate one expression of the init/tele/checker
+    blocks (swap a binary operator or perturb a 16-bit constant).  Two
+    further kinds are opt-in because they are *structural* and visible
+    to ``repro lint`` as well as to the oracle: ``"kill_write"``
+    (delete a register write — IH002) and ``"orphan"`` (delete a table
+    apply, leaving the table dead — IH007)."""
+    points: List[Tuple[str, Any, str]] = []
     for label, stmts in (("init", compiled.init_stmts),
                          ("telemetry", compiled.tele_stmts),
                          ("checker", compiled.check_stmts)):
         points.extend((label, node, kind)
-                      for node, kind in _collect_mutable(stmts))
+                      for node, kind in _collect_mutable(stmts)
+                      if kind in kinds)
+    if "kill_write" in kinds:
+        points.append(("*", None, "kill_write"))
+    if "orphan" in kinds:
+        points.append(("*", None, "orphan"))
     if not points:
         return None
     label, node, kind = rng.choice(points)
+    if kind == "kill_write":
+        return kill_register_write(compiled)
+    if kind == "orphan":
+        return orphan_table(compiled)
     # IR nodes are frozen dataclasses; the mutation deliberately reaches
     # around that to simulate the compiler having emitted the wrong node.
     if kind == "op":

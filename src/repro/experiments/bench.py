@@ -31,8 +31,10 @@ ENGINES = ("interp", "fast")
 
 
 def _build_switch(engine: str,
-                  obs: Optional[Observability] = None) -> Bmv2Switch:
-    compiled = compile_program(load_source("loops"), name="loops")
+                  obs: Optional[Observability] = None,
+                  optimize: bool = False) -> Bmv2Switch:
+    compiled = compile_program(load_source("loops"), name="loops",
+                               optimize=optimize)
     program = standalone_program(compiled)
     sw = Bmv2Switch(program, name="s1", engine=engine, obs=obs)
     sw.insert_entry("fwd_table", [1], "fwd_set_egress", [2])
@@ -90,11 +92,11 @@ def metered_snapshot(packets: int = 2000) -> Dict[str, Any]:
 
 
 def measure_pps(engine: str, packets: int = 5000, warmup: int = 500,
-                repeats: int = 3) -> float:
+                repeats: int = 3, optimize: bool = False) -> float:
     """Best-of-N packets/sec through one linked switch."""
     if packets < 1:
         raise ValueError("packets must be >= 1, got %d" % packets)
-    sw = _build_switch(engine)
+    sw = _build_switch(engine, optimize=optimize)
     packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
     for _ in range(warmup):
         sw.process(packet, 1)
@@ -120,7 +122,7 @@ def _replay_goodput(engine: str) -> Dict[str, Any]:
 
 def run_bench(packets: int = 5000, replay: bool = True,
               out_path: Optional[str] = None,
-              workers: int = 1) -> Dict[str, Any]:
+              workers: int = 1, optimize: bool = False) -> Dict[str, Any]:
     """The full benchmark; optionally writes the JSON report.
 
     ``workers > 1`` offloads the *side* tasks — the replay parity check
@@ -139,6 +141,7 @@ def run_bench(packets: int = 5000, replay: bool = True,
                               # hot path (what the bench guard defends).
                               "observability": "null registry (off)",
                               "workers": max(1, workers),
+                              "optimize": optimize,
                               "engines": {}}
     pool = None
     snapshot_async = None
@@ -155,7 +158,7 @@ def run_bench(packets: int = 5000, replay: bool = True,
                             for engine in ENGINES}
     try:
         for engine in ENGINES:
-            pps = measure_pps(engine, packets=packets)
+            pps = measure_pps(engine, packets=packets, optimize=optimize)
             result["engines"][engine] = {
                 "pps": round(pps, 1),
                 "us_per_packet": round(1e6 / pps, 2)}

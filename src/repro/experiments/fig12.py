@@ -46,6 +46,7 @@ class Fig12Config:
     ping_interval_s: float = 0.002
     seed: int = 11
     engine: str = "fast"  # Bmv2Switch execution engine for every switch
+    optimize: bool = False  # run the dataflow optimizer on every checker
 
 
 @dataclass
@@ -87,7 +88,7 @@ def build_fabric(checkers: Optional[List[str]],
     deployment: Optional[HydraDeployment] = None
     if checkers:
         with profiled(obs.registry, "compile"):
-            compiled = compile_suite(checkers)
+            compiled = compile_suite(checkers, optimize=config.optimize)
         deployment = HydraDeployment(topology, compiled, forwarding,
                                      engine=config.engine, obs=obs)
         network = deployment.network

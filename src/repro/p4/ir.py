@@ -25,6 +25,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from ..indus.errors import SourceSpan, UNKNOWN_SPAN
 from ..net.packet import HeaderType
 
 
@@ -32,8 +33,20 @@ from ..net.packet import HeaderType
 # Expressions
 # ---------------------------------------------------------------------------
 
+@dataclass(frozen=True)
 class P4Expr:
-    """Base class for IR expressions."""
+    """Base class for IR expressions.
+
+    Every expression carries a ``span`` pointing back at the Indus source
+    it was lowered from (:data:`~repro.indus.errors.UNKNOWN_SPAN` for
+    synthesized nodes and hand-written forwarding programs).  The span is
+    provenance only: it never participates in equality or hashing, so two
+    structurally identical expressions from different source lines still
+    compare equal.
+    """
+
+    span: SourceSpan = field(default=UNKNOWN_SPAN, kw_only=True,
+                             compare=False, repr=False)
 
 
 @dataclass(frozen=True)
@@ -107,8 +120,16 @@ def unexpr_width(expr: UnExpr) -> int:
 # Statements
 # ---------------------------------------------------------------------------
 
+@dataclass
 class P4Stmt:
-    """Base class for IR statements."""
+    """Base class for IR statements.
+
+    Like :class:`P4Expr`, statements carry a provenance ``span``
+    (excluded from equality) mapping compiled IR back to Indus source.
+    """
+
+    span: SourceSpan = field(default=UNKNOWN_SPAN, kw_only=True,
+                             compare=False, repr=False)
 
 
 @dataclass

@@ -84,6 +84,8 @@ class FleetOptions:
 
     workers: int = 2
     inject_bug: bool = False
+    #: Run the dataflow optimizer on every compiled scenario checker.
+    optimize: bool = False
     #: Per-scenario wall-clock budget; past it the worker is killed and
     #: the seed quarantined (no retry — a deterministic hang would only
     #: burn the budget again).
@@ -111,6 +113,7 @@ class _WorkerConfig:
     metrics: bool
     trace_path: Optional[str]
     fault: Optional[FaultPlan]
+    optimize: bool = False
 
 
 def _worker_main(shard_index: int, seeds: Tuple[int, ...], conn: Any,
@@ -134,7 +137,7 @@ def _worker_main(shard_index: int, seeds: Tuple[int, ...], conn: Any,
             if seed in cfg.fault.hang_seeds:
                 time.sleep(cfg.fault.hang_sleep_s)
         outcome = run_seed(seed, inject_bug=cfg.inject_bug,
-                           registry=registry)
+                           registry=registry, optimize=cfg.optimize)
         if tracer is not None:
             tracer.emit("scenario", node, seed, verdict=outcome.verdict,
                         packets=outcome.packets_run)
@@ -211,7 +214,8 @@ class _Fleet:
             st.trace_paths.append(trace_path)
         cfg = _WorkerConfig(inject_bug=self.options.inject_bug,
                             metrics=self.metrics, trace_path=trace_path,
-                            fault=self.options.fault)
+                            fault=self.options.fault,
+                            optimize=self.options.optimize)
         reader, writer = self.ctx.Pipe(duplex=False)
         st.conn = reader
         st.proc = self.ctx.Process(

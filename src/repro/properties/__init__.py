@@ -165,14 +165,16 @@ def load_monitor(name: str) -> Monitor:
 
 
 def compile_property(name: str,
-                     bindings: Optional[Dict[str, str]] = None
-                     ) -> CompiledChecker:
+                     bindings: Optional[Dict[str, str]] = None,
+                     optimize: bool = False) -> CompiledChecker:
     """Compile a property to P4 IR."""
-    return compile_program(load_checked(name), name=name, bindings=bindings)
+    return compile_program(load_checked(name), name=name, bindings=bindings,
+                           optimize=optimize)
 
 
 def compile_suite(names: Optional[List[str]] = None,
-                  base_eth_type: int = 0x88B5) -> List[CompiledChecker]:
+                  base_eth_type: int = 0x88B5,
+                  optimize: bool = False) -> List[CompiledChecker]:
     """Compile several properties for one multi-checker deployment.
 
     Each checker gets its own namespace (its property name) and a
@@ -184,7 +186,7 @@ def compile_suite(names: Optional[List[str]] = None,
     for i, name in enumerate(names):
         compiled.append(compile_program(
             load_checked(name), name=name, namespace=name,
-            eth_type=base_eth_type + i,
+            eth_type=base_eth_type + i, optimize=optimize,
         ))
     return compiled
 

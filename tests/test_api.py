@@ -28,7 +28,8 @@ def test_top_level_reexports():
     assert repro.deploy is api.deploy
     assert repro.run_scenario is api.run_scenario
     assert repro.bench is api.bench
-    for name in ("api", "bench", "compile_indus", "deploy",
+    assert repro.lint is api.lint
+    for name in ("api", "bench", "compile_indus", "deploy", "lint",
                  "run_scenario"):
         assert name in repro.__all__
     # The campaign verb is deliberately NOT re-exported at top level:
@@ -92,6 +93,33 @@ def test_run_scenario_by_seed_and_by_scenario():
 def test_run_scenario_requires_an_input():
     with pytest.raises(TypeError):
         api.run_scenario()
+
+
+def test_lint_verb_accepts_all_program_forms(tmp_path):
+    from repro.analysis import Diagnostic
+
+    by_name = api.lint("loops")
+    by_compiled = api.lint(api.compile_indus("loops"))
+    path = tmp_path / "loops.indus"
+    from repro.properties import load_source
+
+    path.write_text(load_source("loops"))
+    by_path = api.lint(str(path))
+    for diags in (by_name, by_compiled, by_path):
+        assert all(isinstance(d, Diagnostic) for d in diags)
+    assert ([d.rule for d in by_name] == [d.rule for d in by_compiled]
+            == [d.rule for d in by_path])
+
+
+def test_lint_verb_only_filter():
+    diags = api.lint("stateful_firewall", only=["IH006"])
+    assert all(d.rule == "IH006" for d in diags)
+
+
+def test_compile_indus_optimize_flag():
+    plain = api.compile_indus("multi_tenancy")
+    opt = api.compile_indus("multi_tenancy", optimize=True)
+    assert len(opt.metadata) < len(plain.metadata)
 
 
 def test_difftest_verb_matches_run_difftest():
