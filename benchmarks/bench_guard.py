@@ -15,7 +15,12 @@ explicitly attached and compares it against a baseline:
 Exit code 0 if the attached run is within ``--tolerance`` (default 10%)
 of the baseline, 1 otherwise.
 
-Usage: ``PYTHONPATH=src python benchmarks/bench_guard.py``
+A second mode, ``--codegen``, guards the engine ladder instead: the
+codegen engine must process at least as many packets/sec as the fast
+engine on the bench program (re-measured on this machine, so the
+comparison never crosses hardware).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_guard.py [--codegen]``
 """
 
 from __future__ import annotations
@@ -49,6 +54,25 @@ def measure_null_obs_pps(packets: int, repeats: int = 3) -> float:
     return best
 
 
+def guard_codegen(packets: int, tolerance: float) -> int:
+    """The engine-ladder guard: codegen pps must not fall below fast
+    pps (both re-measured here, best-of-N, same program)."""
+    fast_pps = measure_pps("fast", packets=packets)
+    codegen_pps = measure_pps("codegen", packets=packets)
+    ratio = codegen_pps / fast_pps
+    floor = 1.0 - tolerance
+    verdict = "OK" if ratio >= floor else "REGRESSION"
+    print(f"bench guard (codegen): fast {fast_pps:.0f} pps, "
+          f"codegen {codegen_pps:.0f} pps, ratio {ratio:.3f} "
+          f"(floor {floor:.2f}) -> {verdict}")
+    if ratio < floor:
+        print("the codegen engine fell below the fast engine on the "
+              "bench program; see docs/INTERNALS.md (engines)",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=5000)
@@ -57,7 +81,13 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default="",
                         help="compare against this BENCH_throughput.json "
                              "instead of re-measuring on this machine")
+    parser.add_argument("--codegen", action="store_true",
+                        help="guard the engine ladder instead: codegen "
+                             "pps must be >= fast pps on this machine")
     args = parser.parse_args(argv)
+
+    if args.codegen:
+        return guard_codegen(args.packets, args.tolerance)
 
     if args.baseline:
         with open(args.baseline) as handle:

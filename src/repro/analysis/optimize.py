@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from ..compiler.codegen import CompiledChecker
+from ..net.topology import EDGE
 from ..p4 import ir
 from .cfg import checker_placements
 from .dataflow import cfg_effects, liveness
@@ -60,6 +61,14 @@ class OptimizeStats:
     removed_registers: List[str] = field(default_factory=list)
     coalesced_fields: List[Tuple[str, str]] = field(default_factory=list)
     removed_metadata: List[Tuple[str, int]] = field(default_factory=list)
+    # SSA-strength passes (PR-6): reads rewritten to constants or copy
+    # sources, recomputations replaced by copies, branches decided under
+    # known table defaults, and definitions the SSA def-use chains prove
+    # unread in every placement.
+    ssa_copyprop: int = 0
+    ssa_cse: int = 0
+    ssa_branches: int = 0
+    ssa_dce: int = 0
 
     @property
     def removed_metadata_bits(self) -> int:
@@ -68,7 +77,9 @@ class OptimizeStats:
     def changed(self) -> bool:
         return bool(self.folded_exprs or self.removed_stmts
                     or self.removed_tables or self.removed_registers
-                    or self.coalesced_fields or self.removed_metadata)
+                    or self.coalesced_fields or self.removed_metadata
+                    or self.ssa_copyprop or self.ssa_cse
+                    or self.ssa_branches or self.ssa_dce)
 
 
 # ---------------------------------------------------------------------------
@@ -199,6 +210,46 @@ def _fold_stmts(stmts: Sequence[ir.P4Stmt],
             stmt.fields = [_fold_expr(f, stats) for f in stmt.fields]
         out.append(stmt)
     return out
+
+
+# ---------------------------------------------------------------------------
+# 1b. SSA-strength passes: copy propagation, CSE, dead-branch pruning
+# ---------------------------------------------------------------------------
+
+def _ssa_round(compiled: CompiledChecker, stats: OptimizeStats) -> bool:
+    """One SSA propose/merge/apply sweep over all placements.
+
+    Each placement lifts to SSA independently (edge placements get a
+    :class:`~repro.p4.ssa.StdBarrier` where the unseen forwarding
+    pipeline runs between the checker's ingress and egress fragments;
+    core placements start mid-pipeline, so standard metadata is unknown
+    at their entry).  Only proposals every containing placement agrees
+    on are applied — to the shared fragment statement objects, so one
+    rewrite is seen by every deployment.  Returns True if anything
+    changed.
+    """
+    from ..p4.ssa import (SSAFunction, SSAInfo, StdBarrier, UNKNOWN_STD,
+                          apply_proposals, merge_proposals, propose)
+
+    info = SSAInfo.for_compiled(compiled)
+    ingress_len = len(compiled.ingress_prologue) + len(compiled.init_stmts)
+    all_props = []
+    for view in checker_placements(compiled):
+        if view.role == EDGE:
+            stmts = list(view.stmts)
+            stmts.insert(ingress_len, StdBarrier())
+            fn = SSAFunction.lift(stmts, info)
+        else:
+            fn = SSAFunction.lift(view.stmts, info, std_entry=UNKNOWN_STD)
+        all_props.append(propose(fn))
+    merged = merge_proposals(all_props)
+    counts = apply_proposals(
+        [getattr(compiled, attr) for attr in _FRAGMENT_ATTRS], merged)
+    stats.ssa_copyprop += counts["copyprop"]
+    stats.ssa_cse += counts["cse"]
+    stats.ssa_branches += counts["branch"]
+    stats.ssa_dce += counts["dce"]
+    return any(counts.values())
 
 
 # ---------------------------------------------------------------------------
@@ -512,11 +563,17 @@ def optimize_compiled(compiled: CompiledChecker) -> OptimizeStats:
     drops, hop-protocol ABI) is a root.
     """
     stats = OptimizeStats()
-    for attr in _FRAGMENT_ATTRS:
-        stmts = getattr(compiled, attr)
-        stmts[:] = _fold_stmts(stmts, stats)
-    for action in compiled.actions.values():
-        action.body[:] = _fold_stmts(action.body, stats)
+    # Folding and the SSA passes feed each other: a propagated constant
+    # makes an expression foldable, a folded condition decides a branch.
+    # Iterate the pair to a (bounded) fixpoint before DCE.
+    for _ in range(8):
+        for attr in _FRAGMENT_ATTRS:
+            stmts = getattr(compiled, attr)
+            stmts[:] = _fold_stmts(stmts, stats)
+        for action in compiled.actions.values():
+            action.body[:] = _fold_stmts(action.body, stats)
+        if not _ssa_round(compiled, stats):
+            break
     while _dce_round(compiled, stats):
         pass
     _prune_structures(compiled, stats)

@@ -12,11 +12,15 @@ behind six verbs with uniform keyword arguments:
   HydraDeployment`;
 * :func:`run_scenario` — one differential-oracle scenario, end to end;
 * :func:`difftest`     — a whole oracle campaign, serial or sharded;
-* :func:`bench`        — the engine throughput benchmark.
+* :func:`bench`        — the engine throughput benchmark;
+* :func:`generated_source` — the codegen engine's generated Python
+  source for a pipeline (``repro dump-src`` is this verb on the
+  command line).
 
 Uniform keywords across the verbs, always keyword-only:
 
-* ``engine=``  — switch execution engine, ``"fast"`` or ``"interp"``;
+* ``engine=``  — switch execution engine: ``"fast"``, ``"interp"``, or
+  ``"codegen"`` (the generated-source batch engine);
 * ``obs=``     — an :class:`~repro.obs.Observability` handle (metrics
   registry + tracer) threaded through every layer; fleet runs merge
   worker registries into it;
@@ -42,8 +46,8 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Dict, List, Optional, Union
 
-__all__ = ["bench", "compile_indus", "deploy", "difftest", "lint",
-           "run_scenario"]
+__all__ = ["bench", "compile_indus", "deploy", "difftest",
+           "generated_source", "lint", "run_scenario"]
 
 
 def compile_indus(program: str, *, name: Optional[str] = None,
@@ -127,13 +131,16 @@ def deploy(compiled: Any, *, scenario: Any = None, topology: Any = None,
 
 def run_scenario(scenario: Union[int, Any] = None, *,
                  seed: Optional[int] = None, obs: Any = None,
-                 optimize: bool = False) -> Any:
+                 optimize: bool = False,
+                 engines: Any = None) -> Any:
     """Run one differential-oracle scenario end to end: compile, deploy
     under both P4 engines, replay through the reference Indus monitor,
     compare all three.
 
     Pass a :class:`~repro.difftest.scenario.Scenario` (or its seed as a
-    plain int), or ``seed=`` alone.  Returns the
+    plain int), or ``seed=`` alone.  ``engines`` widens the engine set
+    the oracle cross-checks (default ``("interp", "fast")``; add
+    ``"codegen"`` for the generated-source engine).  Returns the
     :class:`~repro.difftest.harness.ScenarioResult`; ``result.ok`` is
     the oracle verdict.
     """
@@ -149,7 +156,8 @@ def run_scenario(scenario: Union[int, Any] = None, *,
     registry = None
     if obs is not None and obs.registry.live:
         registry = obs.registry
-    return _run(scenario, registry=registry, optimize=optimize)
+    return _run(scenario, registry=registry, optimize=optimize,
+                engines=engines)
 
 
 def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
@@ -157,7 +165,7 @@ def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
              obs: Any = None, timeout_s: float = 60.0,
              quarantine_dir: str = "difftest_failures",
              progress: Optional[Callable[[str], None]] = None,
-             optimize: bool = False) -> Any:
+             optimize: bool = False, engines: Any = None) -> Any:
     """Run a differential-oracle campaign over ``iters`` seeds starting
     at ``seed``.
 
@@ -166,7 +174,9 @@ def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
     kill, crashed-worker respawn, and quarantine of seeds that take
     down their worker (reproducer bundles land in ``quarantine_dir``).
     For a fixed seed the verdict *set* is identical for any worker
-    count.  Returns the :class:`~repro.difftest.DifftestSummary`.
+    count.  ``engines`` widens the engine set each scenario
+    cross-checks (default interp vs fast; add ``"codegen"``).
+    Returns the :class:`~repro.difftest.DifftestSummary`.
     """
     from .difftest import run_difftest
 
@@ -175,21 +185,58 @@ def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
                         progress=progress, obs=obs, workers=workers,
                         timeout_s=timeout_s,
                         quarantine_dir=quarantine_dir,
-                        optimize=optimize)
+                        optimize=optimize, engines=engines)
 
 
 def bench(*, packets: int = 5000, replay: bool = True, workers: int = 1,
-          out: Optional[str] = None,
-          optimize: bool = False) -> Dict[str, Any]:
-    """Benchmark the behavioral model: interp vs fast packets/sec, plus
-    a campus-replay goodput parity check and a metered metrics snapshot.
+          out: Optional[str] = None, optimize: bool = False,
+          engines: Any = None) -> Dict[str, Any]:
+    """Benchmark the behavioral model: interp vs fast vs codegen
+    packets/sec (plus the codegen engine's batch entry point), a
+    campus-replay goodput parity check, and a metered metrics snapshot.
 
     The timed pps measurement always runs serially in this process —
     co-scheduling would distort it; ``workers > 1`` offloads the side
     tasks (replay parity, metered snapshot) to a process pool instead.
-    Returns the report dict (written to ``out`` as JSON when given).
+    ``engines`` restricts which engines are timed (default all three).
+    Returns the report dict (written to ``out`` as JSON when given;
+    each write appends the run to the report's ``history`` list so the
+    pps trajectory across commits is preserved).
     """
     from .experiments.bench import run_bench
 
     return run_bench(packets=packets, replay=replay, out_path=out,
-                     workers=workers, optimize=optimize)
+                     workers=workers, optimize=optimize, engines=engines)
+
+
+def generated_source(program: Union[int, str, Any], *,
+                     name: Optional[str] = None,
+                     optimize: bool = False) -> str:
+    """The codegen engine's generated Python source for a pipeline.
+
+    ``program`` accepts everything :func:`compile_indus` does — a
+    bundled property name, an ``.indus`` path, Indus source text, or an
+    already-compiled checker — plus a plain int, which is taken as a
+    difftest scenario seed (the reproducer-bundle workflow: seeing the
+    exact straight-line code an oracle divergence executed).  Returns
+    the module source as emitted (one ``_process`` and one
+    ``_process_batch`` function, specialized to the program).
+    """
+    from .compiler import standalone_program
+    from .compiler.codegen import CompiledChecker
+    from .p4.bmv2 import Bmv2Switch
+
+    if isinstance(program, int):
+        from .compiler import compile_program
+        from .difftest.scenario import gen_scenario
+
+        source = gen_scenario(program).source()
+        compiled = compile_program(source, name=name or f"dt{program}",
+                                   optimize=optimize)
+    elif isinstance(program, CompiledChecker):
+        compiled = program
+    else:
+        compiled = compile_indus(program, name=name, optimize=optimize)
+    switch = Bmv2Switch(standalone_program(compiled), name="dump",
+                        switch_id=1, engine="codegen")
+    return switch._fast.source

@@ -8,8 +8,10 @@ Commands:
 * ``properties``               — list the bundled property library
 * ``table1``                   — reproduce Table 1
 * ``fig12``                    — run the Figure 12 RTT experiment
-* ``bench``                    — benchmark the interp vs fast engines
+* ``bench``                    — benchmark the interp/fast/codegen engines
 * ``difftest``                 — three-level differential oracle
+* ``dump-src <target>``        — print the codegen engine's generated
+  Python source for a pipeline, with line numbers
 * ``metrics``                  — run a metered deployment, dump metrics
 * ``trace``                    — record + print a packet-lifecycle trace
 * ``ltl "<formula>"``          — compile an LTLf formula to Indus
@@ -180,17 +182,32 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _parse_engines(text: str) -> Optional[List[str]]:
+    """A comma-separated engine list, validated; empty/blank -> None."""
+    if not text:
+        return None
+    engines = [e.strip() for e in text.split(",") if e.strip()]
+    valid = ("interp", "fast", "codegen")
+    for engine in engines:
+        if engine not in valid:
+            raise SystemExit(f"error: unknown engine {engine!r}; "
+                             f"valid: {', '.join(valid)}")
+    return engines or None
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from .api import bench
     from .experiments import format_bench
 
-    print("benchmarking interp vs fast engines "
+    engines = _parse_engines(args.engine)
+    label = ", ".join(engines) if engines else "interp, fast, codegen"
+    print(f"benchmarking {label} engines "
           f"({args.packets} packets per run"
           + (f", {args.workers} workers for side tasks"
              if args.workers > 1 else "") + ")...")
     result = bench(packets=args.packets, replay=not args.no_replay,
                    out=args.out, workers=args.workers,
-                   optimize=args.optimize)
+                   optimize=args.optimize, engines=engines)
     print(format_bench(result))
     if args.out:
         print(f"wrote {args.out}")
@@ -201,13 +218,19 @@ def cmd_difftest(args: argparse.Namespace) -> int:
     from .api import difftest
     from .difftest import Minimizer, dump_reproducer
 
+    engines = _parse_engines(args.engine)
+    if engines is not None and len(engines) < 2:
+        raise SystemExit("error: the oracle cross-checks engines; give "
+                         "at least two (e.g. --engine interp,codegen)")
     mode = "injected-bug validation" if args.inject_bug else "oracle"
     print(f"difftest ({mode}): seed {args.seed}, {args.iters} iteration(s)"
+          + (f", engines {','.join(engines)}" if engines else "")
           + (f", {args.workers} workers" if args.workers > 1 else ""))
     summary = difftest(seed=args.seed, iters=args.iters,
                        inject_bug=args.inject_bug, progress=print,
                        workers=args.workers, timeout_s=args.timeout,
-                       quarantine_dir=args.out, optimize=args.optimize)
+                       quarantine_dir=args.out, optimize=args.optimize,
+                       engines=engines)
     if summary.workers > 1:
         if summary.respawns:
             print(f"worker respawns: {summary.respawns}")
@@ -373,6 +396,29 @@ def cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_dump_src(args: argparse.Namespace) -> int:
+    from .api import generated_source
+
+    target = args.target
+    if target.lstrip("-").isdigit():
+        program: object = int(target)
+        name = f"dt{target}"
+    else:
+        name, _source = _load_program_text(target)
+        program = target
+    try:
+        source = generated_source(program, name=name,
+                                  optimize=args.optimize)
+    except IndusError as exc:
+        print(f"{name}: error: {exc}", file=sys.stderr)
+        return 1
+    lines = source.splitlines()
+    width = len(str(len(lines)))
+    for i, line in enumerate(lines, 1):
+        print(f"{i:{width}d}  {line}")
+    return 0
+
+
 def cmd_ltl(args: argparse.Namespace) -> int:
     from .ltl import ltl_to_indus_source, parse_formula
 
@@ -440,7 +486,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--checkers", default="",
                    help="comma-separated checker subset "
                         "(default: all eleven Table-1 checkers)")
-    p.add_argument("--engine", default="fast", choices=["fast", "interp"],
+    p.add_argument("--engine", default="fast",
+                   choices=["fast", "interp", "codegen"],
                    help="switch execution engine (default fast)")
     p.add_argument("--workers", type=_positive_int, default=1,
                    help="run the two arms in a process pool "
@@ -451,9 +498,13 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="benchmark the behavioral model: interp vs fast packets/sec")
+        help="benchmark the behavioral model: interp/fast/codegen "
+             "packets/sec (plus codegen batch mode)")
     p.add_argument("--packets", type=_positive_int, default=5000,
                    help="packets per timing run (default 5000)")
+    p.add_argument("--engine", default="",
+                   help="comma-separated engines to time (default "
+                        "interp,fast,codegen)")
     p.add_argument("--no-replay", action="store_true",
                    help="skip the campus-replay goodput parity check")
     p.add_argument("-o", "--out", default="BENCH_throughput.json",
@@ -477,6 +528,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out", default="difftest_failures",
                    help="directory for minimized reproducers and "
                         "quarantine bundles (default difftest_failures)")
+    p.add_argument("--engine", default="",
+                   help="comma-separated engine set the oracle "
+                        "cross-checks (default interp,fast; e.g. "
+                        "--engine interp,fast,codegen)")
     p.add_argument("--inject-bug", action="store_true",
                    help="mutate the compiled checker each iteration and "
                         "verify the oracle catches it")
@@ -526,7 +581,7 @@ def build_parser() -> argparse.ArgumentParser:
                        help="simulated seconds for the fig12 scenario "
                             "(default 0.02)")
         p.add_argument("--engine", default="fast",
-                       choices=["fast", "interp"],
+                       choices=["fast", "interp", "codegen"],
                        help="switch execution engine (default fast)")
 
     p = sub.add_parser(
@@ -549,6 +604,17 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--out", default="",
                    help="write JSON-lines to this file instead of stdout")
     p.set_defaults(fn=cmd_trace)
+
+    p = sub.add_parser(
+        "dump-src",
+        help="print the codegen engine's generated Python source for a "
+             "pipeline (line-numbered, for oracle-divergence diagnosis)")
+    p.add_argument("target",
+                   help="bundled property name, .indus file, or a "
+                        "difftest scenario seed (integer)")
+    p.add_argument("--optimize", action="store_true",
+                   help="run the dataflow optimizer first")
+    p.set_defaults(fn=cmd_dump_src)
 
     p = sub.add_parser("ltl", help="compile an LTLf formula to Indus")
     p.add_argument("formula", help='e.g. "G !(a & X (F a))"')

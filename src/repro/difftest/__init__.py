@@ -70,10 +70,12 @@ class SeedOutcome:
 
 
 def run_seed(seed: int, inject_bug: bool = False,
-             registry: Any = None, optimize: bool = False) -> SeedOutcome:
+             registry: Any = None, optimize: bool = False,
+             engines: Any = None) -> SeedOutcome:
     """Run the oracle on one seed — the shared per-iteration step of the
     serial loop and every fleet worker, so both paths compute literally
-    the same thing for a given seed."""
+    the same thing for a given seed.  ``engines`` widens the engine set
+    the oracle cross-checks (default interp vs fast)."""
     scenario = gen_scenario(seed)
     outcome = SeedOutcome(seed=seed)
     if inject_bug:
@@ -86,13 +88,14 @@ def run_seed(seed: int, inject_bug: bool = False,
                 notes.append(note)
 
         result = run_scenario(scenario, mutate=mutate, registry=registry,
-                              optimize=optimize)
+                              optimize=optimize, engines=engines)
         if notes:
             outcome.mutated = True
             outcome.mutation_note = notes[0]
             outcome.caught = result.failure is not None
         return outcome
-    result = run_scenario(scenario, registry=registry, optimize=optimize)
+    result = run_scenario(scenario, registry=registry, optimize=optimize,
+                          engines=engines)
     outcome.failure = result.failure
     outcome.packets_run = result.packets_run
     outcome.hops_checked = result.hops_checked
@@ -151,6 +154,7 @@ def run_difftest(seed: int = 0, iters: int = 100,
                  timeout_s: float = 60.0,
                  quarantine_dir: str = "difftest_failures",
                  optimize: bool = False,
+                 engines: Any = None,
                  ) -> DifftestSummary:
     """Run ``iters`` oracle iterations starting at ``seed``.
 
@@ -164,6 +168,10 @@ def run_difftest(seed: int = 0, iters: int = 100,
     serial path threads its registry through every scenario, the
     parallel path merges per-worker registries into it
     (:meth:`~repro.obs.metrics.MetricsRegistry.merge`).
+
+    ``engines`` widens the engine set each scenario cross-checks
+    (default ``("interp", "fast")``; add ``"codegen"`` to validate the
+    generated-source engine under the same oracle).
 
     ``workers > 1`` shards the seed range across that many processes
     (:func:`repro.parallel.run_fleet`): same per-seed computation,
@@ -179,7 +187,8 @@ def run_difftest(seed: int = 0, iters: int = 100,
         options = FleetOptions(workers=workers, inject_bug=inject_bug,
                                timeout_s=timeout_s,
                                quarantine_dir=quarantine_dir,
-                               optimize=optimize)
+                               optimize=optimize,
+                               engines=tuple(engines) if engines else None)
         return run_fleet(seed, iters, options=options, obs=obs,
                          progress=progress)
     registry = None
@@ -188,7 +197,8 @@ def run_difftest(seed: int = 0, iters: int = 100,
     summary = DifftestSummary()
     for i in range(iters):
         outcome = run_seed(seed + i, inject_bug=inject_bug,
-                           registry=registry, optimize=optimize)
+                           registry=registry, optimize=optimize,
+                           engines=engines)
         summary.absorb(outcome)
         if progress and outcome.mutated and outcome.caught:
             progress(f"seed {seed + i}: mutation caught "

@@ -40,6 +40,9 @@ from ..runtime.deployment import HydraDeployment
 from ..runtime.tracecheck import run_trace
 from .scenario import Scenario, compute_path, forwarding_entries
 
+#: Default engine pair the oracle cross-checks; campaigns can widen it
+#: (e.g. ``("interp", "fast", "codegen")``) via the ``engines=`` knob on
+#: :func:`run_scenario` / :func:`repro.difftest.run_difftest`.
 ENGINES = ("interp", "fast")
 
 
@@ -328,7 +331,8 @@ def _build_trace(scenario: Scenario, topology,
 
 def run_scenario(scenario: Scenario,
                  mutate: Optional[Callable[[CompiledChecker], Any]] = None,
-                 registry=None, optimize: bool = False) -> ScenarioResult:
+                 registry=None, optimize: bool = False,
+                 engines: Optional[Tuple[str, ...]] = None) -> ScenarioResult:
     """Run one scenario through all three levels and compare.
 
     ``mutate``, when given, is applied to the compiled checker before
@@ -338,8 +342,14 @@ def run_scenario(scenario: Scenario,
     verdicts must be identical with or without it).  ``optimize`` runs
     the dataflow optimizer on the compiled checker before deployment —
     the campaign knob used to validate that optimization changes
-    nothing observable.
+    nothing observable.  ``engines`` widens (or narrows) the engine set
+    the oracle cross-checks; the first engine is the comparison anchor
+    and every other engine must agree with it byte-for-byte.
     """
+    engines = tuple(engines) if engines else ENGINES
+    if len(engines) < 2:
+        raise ValueError("the oracle needs at least two engines to "
+                         f"cross-check, got {engines!r}")
     result = ScenarioResult(scenario=scenario)
 
     def fail(kind: str, message: str, packet_index: int = -1,
@@ -359,36 +369,43 @@ def run_scenario(scenario: Scenario,
         mutate(compiled)
 
     runs: Dict[str, _EngineRun] = {}
-    for engine in ENGINES:
+    for engine in engines:
         try:
             runs[engine] = _run_engine(scenario, compiled, engine,
                                        registry=registry)
         except Exception as exc:
             return fail("engine", f"{engine} deployment crashed: {exc!r}")
 
-    # Level 1: the two P4 engines must agree byte-for-byte.
-    a, b = runs[ENGINES[0]], runs[ENGINES[1]]
-    for i in range(len(scenario.packets)):
-        if a.verdicts[i] != b.verdicts[i]:
-            return fail("engine", f"verdict interp={a.verdicts[i]} "
-                        f"fast={b.verdicts[i]}", i)
-        if a.delivered[i] != b.delivered[i]:
-            return fail("engine", "delivered packet bytes differ", i)
-        if a.reports[i] != b.reports[i]:
-            return fail("engine", f"reports differ: interp={a.reports[i]} "
-                        f"fast={b.reports[i]}", i)
-    if a.registers != b.registers:
-        return fail("engine", "final register state differs")
-    if a.digest_totals != b.digest_totals:
-        return fail("engine", f"digest totals differ: {a.digest_totals} "
-                    f"vs {b.digest_totals}")
+    # Level 1: every P4 engine must agree byte-for-byte with the first.
+    anchor = engines[0]
+    a = runs[anchor]
+    for other in engines[1:]:
+        b = runs[other]
+        for i in range(len(scenario.packets)):
+            if a.verdicts[i] != b.verdicts[i]:
+                return fail("engine", f"verdict {anchor}={a.verdicts[i]} "
+                            f"{other}={b.verdicts[i]}", i)
+            if a.delivered[i] != b.delivered[i]:
+                return fail("engine", f"delivered packet bytes differ "
+                            f"({anchor} vs {other})", i)
+            if a.reports[i] != b.reports[i]:
+                return fail("engine",
+                            f"reports differ: {anchor}={a.reports[i]} "
+                            f"{other}={b.reports[i]}", i)
+        if a.registers != b.registers:
+            return fail("engine", f"final register state differs "
+                        f"({anchor} vs {other})")
+        if a.digest_totals != b.digest_totals:
+            return fail("engine", f"digest totals differ: "
+                        f"{a.digest_totals} vs {b.digest_totals} "
+                        f"({anchor} vs {other})")
 
     # Level 2+3: deployment behavior vs the reference monitor, replaying
     # the observed per-hop context through tracecheck.
     from ..indus import check, parse
     checked = check(parse(source))
     topology = scenario.build_topology()
-    run = runs[ENGINES[0]]
+    run = runs[anchor]
     for i in range(len(scenario.packets)):
         hops = run.hop_records[i]
         if not hops:

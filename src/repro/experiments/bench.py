@@ -1,11 +1,13 @@
-"""Engine benchmark: packets/sec for interp vs fast, goodput parity.
+"""Engine benchmark: packets/sec for interp/fast/codegen, goodput parity.
 
 Measures the raw ``Bmv2Switch.process`` forwarding rate of a single
 linked switch (the same setup as ``benchmarks/test_throughput.py``'s
-``test_switch_processing_rate``) under both execution engines, plus the
+``test_switch_processing_rate``) under every execution engine — plus
+the codegen engine's vectorized ``process_batch`` entry point — and the
 campus-replay goodput under each engine as a parity check.  Results are
-written as ``BENCH_throughput.json`` so the packets/sec trajectory is
-tracked across PRs.
+written as ``BENCH_throughput.json``; every write appends the run's
+summary to the report's ``history`` list (keyed by commit + timestamp)
+so the packets/sec trajectory across PRs survives each overwrite.
 
 Entry points: ``python benchmarks/run_bench.py`` or
 ``python -m repro bench``.
@@ -18,7 +20,7 @@ import platform
 import subprocess
 import time
 from datetime import datetime, timezone
-from typing import Any, Dict, Optional
+from typing import Any, Dict, Optional, Sequence
 
 from ..compiler import compile_program, standalone_program
 from ..net.packet import ip, make_udp
@@ -27,7 +29,7 @@ from ..p4.bmv2 import Bmv2Switch
 from ..properties import load_source
 from .throughput import run_replay
 
-ENGINES = ("interp", "fast")
+ENGINES = ("interp", "fast", "codegen")
 
 
 def _build_switch(engine: str,
@@ -111,6 +113,27 @@ def measure_pps(engine: str, packets: int = 5000, warmup: int = 500,
     return best
 
 
+def measure_batch_pps(engine: str = "codegen", packets: int = 5000,
+                      warmup: int = 500, repeats: int = 3,
+                      optimize: bool = False) -> float:
+    """Best-of-N packets/sec through ``process_batch`` — one call per
+    timing run, so per-packet Python call overhead is amortized."""
+    if packets < 1:
+        raise ValueError("packets must be >= 1, got %d" % packets)
+    sw = _build_switch(engine, optimize=optimize)
+    packet = make_udp(ip(1, 1, 1, 1), ip(2, 2, 2, 2), 1, 2)
+    items = [(packet, 1)] * packets
+    sw.process_batch([(packet, 1)] * warmup)
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        sw.process_batch(items)
+        elapsed = time.perf_counter() - start
+        if elapsed > 0:
+            best = max(best, packets / elapsed)
+    return best
+
+
 def _replay_goodput(engine: str) -> Dict[str, Any]:
     """One engine's campus-replay goodput entry (module-level so the
     worker-pool path can pickle it)."""
@@ -120,9 +143,47 @@ def _replay_goodput(engine: str) -> Dict[str, Any]:
             "delivery_ratio": round(r.delivery_ratio, 4)}
 
 
+def _history_entry(result: Dict[str, Any]) -> Dict[str, Any]:
+    """The compact per-run record appended to the report's history."""
+    entry: Dict[str, Any] = {
+        "commit": result["meta"].get("commit"),
+        "timestamp": result["meta"].get("timestamp"),
+        "optimize": result.get("optimize", False),
+        "engines": {name: stats["pps"]
+                    for name, stats in result["engines"].items()},
+        "speedups": dict(result.get("speedups", {})),
+    }
+    batch = result.get("codegen_batch")
+    if batch:
+        entry["codegen_batch_pps"] = batch["pps"]
+    return entry
+
+
+def load_history(out_path: str) -> list:
+    """The history list of an existing report (empty when the file is
+    missing, unreadable, or predates history tracking)."""
+    try:
+        with open(out_path) as handle:
+            prior = json.load(handle)
+    except (OSError, ValueError):
+        return []
+    history = prior.get("history", [])
+    if not isinstance(history, list):
+        return []
+    if not history and "engines" in prior and "meta" in prior:
+        # Pre-history report: fold its single run in so the first
+        # history-aware write does not lose the recorded trajectory.
+        try:
+            history = [_history_entry(prior)]
+        except (KeyError, TypeError):
+            history = []
+    return history
+
+
 def run_bench(packets: int = 5000, replay: bool = True,
               out_path: Optional[str] = None,
-              workers: int = 1, optimize: bool = False) -> Dict[str, Any]:
+              workers: int = 1, optimize: bool = False,
+              engines: Optional[Sequence[str]] = None) -> Dict[str, Any]:
     """The full benchmark; optionally writes the JSON report.
 
     ``workers > 1`` offloads the *side* tasks — the replay parity check
@@ -132,7 +193,13 @@ def run_bench(packets: int = 5000, replay: bool = True,
     wall-clock measurement would distort the numbers the bench guard
     defends.  The replay and snapshot are deterministic-in-content, so
     the report is the same either way (timing fields aside).
+
+    ``engines`` restricts which engines are timed (default all three).
+    Writing to ``out_path`` appends this run to the report's
+    ``history`` list (prior runs are carried over from the existing
+    file), so overwriting the report never loses the pps trajectory.
     """
+    engines = tuple(engines) if engines else ENGINES
     result: Dict[str, Any] = {"benchmark": "switch_processing_rate",
                               "program": "loops (linked standalone)",
                               "meta": bench_meta(),
@@ -150,41 +217,60 @@ def run_bench(packets: int = 5000, replay: bool = True,
         import multiprocessing
 
         pool = multiprocessing.get_context().Pool(
-            processes=min(workers, 1 + len(ENGINES)))
+            processes=min(workers, 1 + len(engines)))
         snapshot_async = pool.apply_async(metered_snapshot)
         if replay:
             replay_async = {engine: pool.apply_async(_replay_goodput,
                                                      (engine,))
-                            for engine in ENGINES}
+                            for engine in engines}
     try:
-        for engine in ENGINES:
+        for engine in engines:
             pps = measure_pps(engine, packets=packets, optimize=optimize)
             result["engines"][engine] = {
                 "pps": round(pps, 1),
                 "us_per_packet": round(1e6 / pps, 2)}
+        if "codegen" in engines:
+            batch_pps = measure_batch_pps("codegen", packets=packets,
+                                          optimize=optimize)
+            result["codegen_batch"] = {
+                "pps": round(batch_pps, 1),
+                "us_per_packet": round(1e6 / batch_pps, 2)}
         if snapshot_async is not None:
             result["metrics_snapshot"] = snapshot_async.get()
         else:
             result["metrics_snapshot"] = metered_snapshot()
-        result["speedup"] = round(
-            result["engines"]["fast"]["pps"] /
-            result["engines"]["interp"]["pps"], 2)
+        interp_pps = result["engines"].get("interp", {}).get("pps")
+        speedups: Dict[str, float] = {}
+        if interp_pps:
+            for engine in engines:
+                if engine != "interp":
+                    speedups[engine] = round(
+                        result["engines"][engine]["pps"] / interp_pps, 2)
+            if "codegen_batch" in result:
+                speedups["codegen_batch"] = round(
+                    result["codegen_batch"]["pps"] / interp_pps, 2)
+        result["speedups"] = speedups
+        if "fast" in speedups:
+            # Backwards-compatible scalar older tooling reads.
+            result["speedup"] = speedups["fast"]
         if replay:
             goodput: Dict[str, Any] = {}
-            for engine in ENGINES:
+            for engine in engines:
                 if engine in replay_async:
                     goodput[engine] = replay_async[engine].get()
                 else:
                     goodput[engine] = _replay_goodput(engine)
-            goodput["parity"] = (
-                goodput["fast"]["goodput_bps"] ==
-                goodput["interp"]["goodput_bps"])
+            values = {goodput[e]["goodput_bps"] for e in engines}
+            goodput["parity"] = len(values) == 1
             result["replay_goodput"] = goodput
     finally:
         if pool is not None:
             pool.close()
             pool.join()
     if out_path:
+        history = load_history(out_path)
+        history.append(_history_entry(result))
+        result["history"] = history
         with open(out_path, "w") as handle:
             json.dump(result, handle, indent=2)
             handle.write("\n")
@@ -193,14 +279,18 @@ def run_bench(packets: int = 5000, replay: bool = True,
 
 def format_bench(result: Dict[str, Any]) -> str:
     lines = [f"engine benchmark — {result['program']}"]
-    for engine in ENGINES:
-        stats = result["engines"][engine]
-        lines.append(f"  {engine:7s} {stats['pps']:10.0f} pps  "
+    for engine, stats in result["engines"].items():
+        lines.append(f"  {engine:13s} {stats['pps']:10.0f} pps  "
                      f"({stats['us_per_packet']:.1f} us/pkt)")
-    lines.append(f"  speedup {result['speedup']:.2f}x (fast vs interp)")
+    batch = result.get("codegen_batch")
+    if batch:
+        lines.append(f"  codegen batch {batch['pps']:10.0f} pps  "
+                     f"({batch['us_per_packet']:.1f} us/pkt)")
+    for engine, ratio in result.get("speedups", {}).items():
+        lines.append(f"  speedup {ratio:6.2f}x ({engine} vs interp)")
     goodput = result.get("replay_goodput")
     if goodput:
-        for engine in ENGINES:
+        for engine in result["engines"]:
             stats = goodput[engine]
             lines.append(
                 f"  replay {engine:7s} goodput="
@@ -208,4 +298,7 @@ def format_bench(result: Dict[str, Any]) -> str:
                 f"delivery={stats['delivery_ratio']:.3f}")
         lines.append("  goodput parity: "
                      + ("OK" if goodput["parity"] else "MISMATCH"))
+    history = result.get("history")
+    if history:
+        lines.append(f"  history: {len(history)} recorded run(s)")
     return "\n".join(lines)

@@ -230,9 +230,9 @@ class Bmv2Switch:
                  switch_id: int = 0, engine: str = "fast",
                  digest_capacity: int = DEFAULT_LOG_CAPACITY,
                  obs: Optional[Observability] = None):
-        if engine not in ("fast", "interp"):
+        if engine not in ("fast", "interp", "codegen"):
             raise ValueError(f"unknown engine {engine!r} "
-                             "(expected 'fast' or 'interp')")
+                             "(expected 'fast', 'interp' or 'codegen')")
         self.program = program
         self.name = name
         self.switch_id = switch_id
@@ -272,6 +272,9 @@ class Bmv2Switch:
         if engine == "fast":
             from .fastpath import FastPath  # deferred: fastpath imports us
             self._fast = FastPath(program, self)
+        elif engine == "codegen":
+            from .codegen import CodegenEngine  # deferred: codegen imports us
+            self._fast = CodegenEngine(program, self)
 
     # ==================================================================
     # Observability
@@ -293,8 +296,9 @@ class Bmv2Switch:
         self._m_table = registry.counter(
             "table_lookups_total", "table applies by outcome",
             labels=("switch", "table", "result"))
-        name = ("fastpath_ns_per_packet" if self.engine == "fast"
-                else "interp_ns_per_packet")
+        name = {"fast": "fastpath_ns_per_packet",
+                "codegen": "codegen_ns_per_packet"}.get(
+                    self.engine, "interp_ns_per_packet")
         self._m_ns = registry.histogram(
             name, f"{self.engine} engine nanoseconds per packet",
             buckets=DEFAULT_NS_BUCKETS)
@@ -312,6 +316,9 @@ class Bmv2Switch:
         if self.engine == "fast":
             from .fastpath import FastPath
             self._fast = FastPath(self.program, self)
+        elif self.engine == "codegen":
+            from .codegen import CodegenEngine
+            self._fast = CodegenEngine(self.program, self)
 
     def _on_digest_evict(self, count: int) -> None:
         # Rare (ring overflow only): route through whatever registry is
@@ -376,6 +383,12 @@ class Bmv2Switch:
                 f"action {action!r} expects {expected} args, got {len(args)}"
             )
         self.default_actions[table_name] = (action, args)
+        # The codegen engine bakes default-action facts into generated
+        # source; give it a chance to recompile.  FastPath re-binds
+        # defaults lazily and has no such hook.
+        notify = getattr(self._fast, "on_default_change", None)
+        if notify is not None:
+            notify(table_name)
 
     # Control-plane register access validates its operands and raises
     # :class:`P4RuntimeError` on a bad name or out-of-range index.  The
@@ -426,6 +439,18 @@ class Bmv2Switch:
         if self._obs_live:
             return self._process_interp_obs(packet, ingress_port)
         return self._process_interp(packet, ingress_port)
+
+    def process_batch(self, items) -> List[List[Tuple[int, Packet]]]:
+        """Run a vector of ``(packet, ingress_port)`` pairs.
+
+        The codegen engine executes the whole vector inside one
+        generated loop; other engines fall back to per-packet
+        :meth:`process` calls with identical observable behavior.
+        """
+        batch = getattr(self._fast, "process_batch", None)
+        if batch is not None:
+            return batch(items)
+        return [self.process(packet, port) for packet, port in items]
 
     def _process_interp_obs(self, packet: Packet,
                             ingress_port: int) -> List[Tuple[int, Packet]]:

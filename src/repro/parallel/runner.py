@@ -86,6 +86,9 @@ class FleetOptions:
     inject_bug: bool = False
     #: Run the dataflow optimizer on every compiled scenario checker.
     optimize: bool = False
+    #: Engine set each scenario cross-checks (None = the harness
+    #: default, interp vs fast).
+    engines: Optional[Tuple[str, ...]] = None
     #: Per-scenario wall-clock budget; past it the worker is killed and
     #: the seed quarantined (no retry — a deterministic hang would only
     #: burn the budget again).
@@ -114,6 +117,7 @@ class _WorkerConfig:
     trace_path: Optional[str]
     fault: Optional[FaultPlan]
     optimize: bool = False
+    engines: Optional[Tuple[str, ...]] = None
 
 
 def _worker_main(shard_index: int, seeds: Tuple[int, ...], conn: Any,
@@ -137,7 +141,8 @@ def _worker_main(shard_index: int, seeds: Tuple[int, ...], conn: Any,
             if seed in cfg.fault.hang_seeds:
                 time.sleep(cfg.fault.hang_sleep_s)
         outcome = run_seed(seed, inject_bug=cfg.inject_bug,
-                           registry=registry, optimize=cfg.optimize)
+                           registry=registry, optimize=cfg.optimize,
+                           engines=cfg.engines)
         if tracer is not None:
             tracer.emit("scenario", node, seed, verdict=outcome.verdict,
                         packets=outcome.packets_run)
@@ -215,7 +220,8 @@ class _Fleet:
         cfg = _WorkerConfig(inject_bug=self.options.inject_bug,
                             metrics=self.metrics, trace_path=trace_path,
                             fault=self.options.fault,
-                            optimize=self.options.optimize)
+                            optimize=self.options.optimize,
+                            engines=self.options.engines)
         reader, writer = self.ctx.Pipe(duplex=False)
         st.conn = reader
         st.proc = self.ctx.Process(

@@ -135,8 +135,15 @@ def test_bench_verb_smoke(tmp_path):
     out = tmp_path / "bench.json"
     result = api.bench(packets=50, replay=False, out=str(out))
     assert out.exists()
-    assert set(result["engines"]) == {"interp", "fast"}
+    assert set(result["engines"]) == {"interp", "fast", "codegen"}
+    assert set(result["speedups"]) == {"fast", "codegen", "codegen_batch"}
     assert result["workers"] == 1
+    assert len(result["history"]) == 1
+    # restricted engine set, and a second write extends the history
+    result = api.bench(packets=50, replay=False, out=str(out),
+                       engines=("interp", "codegen"))
+    assert set(result["engines"]) == {"interp", "codegen"}
+    assert len(result["history"]) == 2
 
 
 # -- deprecation shims ------------------------------------------------------

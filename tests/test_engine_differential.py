@@ -1,6 +1,7 @@
-"""Differential tests: fast-path engine vs the reference interpreter.
+"""Differential tests: every engine vs the reference interpreter.
 
-The fast engine (:mod:`repro.p4.fastpath`) must be observationally
+The fast engine (:mod:`repro.p4.fastpath`) and the generated-source
+codegen engine (:mod:`repro.p4.codegen`) must be observationally
 identical to the tree-walking interpreter for every program and packet:
 byte-identical output packets, the same digests, and the same register
 state.  This suite holds that line over the full properties corpus,
@@ -17,7 +18,7 @@ from repro.p4.bmv2 import Bmv2Switch
 from repro.properties import PROPERTIES, load_source
 from tests.genprog import gen_multihop_program, gen_program
 
-ENGINES = ("interp", "fast")
+ENGINES = ("interp", "fast", "codegen")
 
 
 def serialize_outputs(outputs):
@@ -42,8 +43,9 @@ def random_packet(rng):
 
 
 def build_pair(source, name="diff"):
-    """The same compiled program on one switch per engine, with the
-    standard edge entries installed through the control API."""
+    """The same compiled program on one switch per engine (anchor
+    first), with the standard edge entries installed through the
+    control API."""
     compiled = compile_program(source, name=name)
     program = standalone_program(compiled)
     switches = []
@@ -59,33 +61,36 @@ def build_pair(source, name="diff"):
     return switches
 
 
-def assert_switches_agree(interp, fast, packets, ingress_port=1):
+def assert_switches_agree(switches, packets, ingress_port=1):
+    anchor, others = switches[0], switches[1:]
     for packet in packets:
-        out_interp = interp.process(packet, ingress_port)
-        out_fast = fast.process(packet, ingress_port)
-        assert serialize_outputs(out_interp) == serialize_outputs(out_fast)
-    assert interp.registers == fast.registers
-    assert interp.packets_processed == fast.packets_processed
-    assert interp.packets_dropped == fast.packets_dropped
-    assert list(interp.digests) == list(fast.digests)
-    assert interp.digests.total == fast.digests.total
+        out_anchor = serialize_outputs(anchor.process(packet, ingress_port))
+        for sw in others:
+            out = serialize_outputs(sw.process(packet, ingress_port))
+            assert out == out_anchor, sw.engine
+    for sw in others:
+        assert anchor.registers == sw.registers, sw.engine
+        assert anchor.packets_processed == sw.packets_processed, sw.engine
+        assert anchor.packets_dropped == sw.packets_dropped, sw.engine
+        assert list(anchor.digests) == list(sw.digests), sw.engine
+        assert anchor.digests.total == sw.digests.total, sw.engine
 
 
 @pytest.mark.parametrize("name", sorted(PROPERTIES))
 def test_properties_corpus_engines_agree(name):
-    interp, fast = build_pair(load_source(name), name=name)
+    switches = build_pair(load_source(name), name=name)
     rng = random.Random(hash(name) & 0xFFFF)
     packets = [random_packet(rng) for _ in range(20)]
-    assert_switches_agree(interp, fast, packets)
+    assert_switches_agree(switches, packets)
 
 
 @pytest.mark.parametrize("seed", range(12))
 def test_generated_programs_engines_agree(seed):
     source = gen_program(seed)
-    interp, fast = build_pair(source, name=f"gen{seed}")
+    switches = build_pair(source, name=f"gen{seed}")
     rng = random.Random(seed)
     packets = [random_packet(rng) for _ in range(15)]
-    assert_switches_agree(interp, fast, packets)
+    assert_switches_agree(switches, packets)
 
 
 @pytest.mark.parametrize("seed", range(6))
@@ -117,8 +122,9 @@ def test_multihop_chains_engines_agree(seed):
                 sw.insert_entry(compiled.strip_table, [2],
                                 compiled.mark_last_action)
             outs[engine] = sw.process(packets[engine], 1)
-        assert serialize_outputs(outs["interp"]) == \
-            serialize_outputs(outs["fast"])
+        for engine in ENGINES[1:]:
+            assert serialize_outputs(outs["interp"]) == \
+                serialize_outputs(outs[engine]), engine
         packets = {engine: (out[0][1] if out else None)
                    for engine, out in outs.items()}
         if packets["interp"] is None:
@@ -146,7 +152,9 @@ def test_control_plane_churn_engines_agree():
         packets = [random_packet(rng) for _ in range(4)]
         for packet in packets:
             outs = [switches[e].process(packet, 1) for e in ENGINES]
-            assert serialize_outputs(outs[0]) == serialize_outputs(outs[1])
+            for other in outs[1:]:
+                assert serialize_outputs(outs[0]) == \
+                    serialize_outputs(other)
         if round_no == 2:
             for e, sw in switches.items():
                 sw.delete_entry("fwd_table", entries[e]["fwd"])
