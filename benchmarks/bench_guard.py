@@ -20,7 +20,16 @@ codegen engine must process at least as many packets/sec as the fast
 engine on the bench program (re-measured on this machine, so the
 comparison never crosses hardware).
 
-Usage: ``PYTHONPATH=src python benchmarks/bench_guard.py [--codegen]``
+A third mode, ``--net``, guards the traffic plane: the network's batch
+hot loop must replay a fig12-style campus trace strictly faster than
+the event-per-packet path (both re-measured here on a short slice), and
+both modes must produce identical delivery counts, bytes, and final
+arrival time.  ``--net-floor-pps`` optionally also enforces an absolute
+batched rate (off by default: CI machines are too variable for the
+paper's 350K pps target, which ``python -m repro bench --net`` checks).
+
+Usage: ``PYTHONPATH=src python benchmarks/bench_guard.py
+[--codegen | --net]``
 """
 
 from __future__ import annotations
@@ -73,6 +82,41 @@ def guard_codegen(packets: int, tolerance: float) -> int:
     return 0
 
 
+def guard_net(rate_pps: float, duration_s: float,
+              floor_pps: float) -> int:
+    """The traffic-plane guard: batched replay must beat event replay
+    on wall clock and match it exactly on observable outputs."""
+    from repro.experiments.netbench import (check_equivalence,
+                                            measure_replay)
+
+    batched = measure_replay("batched", rate_pps, duration_s)
+    event = measure_replay("event", rate_pps, duration_s)
+    equivalence = check_equivalence(rate_pps=rate_pps,
+                                    duration_s=duration_s)
+    speedup = (batched["replay_pps"] / event["replay_pps"]
+               if event["replay_pps"] else float("inf"))
+    ok = batched["replay_pps"] > event["replay_pps"] and equivalence["ok"]
+    floor_note = ""
+    if floor_pps > 0:
+        floor_note = f", floor {floor_pps:,.0f} pps"
+        ok = ok and batched["replay_pps"] >= floor_pps
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"bench guard (net): batched {batched['replay_pps']:,.0f} pps, "
+          f"event {event['replay_pps']:,.0f} pps, speedup {speedup:.2f}x, "
+          f"equivalence {'ok' if equivalence['ok'] else 'DIVERGED'}"
+          f"{floor_note} -> {verdict}")
+    if not equivalence["ok"]:
+        print("batched and event replay diverged on "
+              + ", ".join(k for k, v in equivalence.items()
+                          if k.endswith("_equal") and not v),
+              file=sys.stderr)
+    elif not ok:
+        print("the batch hot loop no longer beats the event-per-packet "
+              "path; see docs/INTERNALS.md (traffic plane)",
+              file=sys.stderr)
+    return 0 if ok else 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=5000)
@@ -84,8 +128,22 @@ def main(argv=None) -> int:
     parser.add_argument("--codegen", action="store_true",
                         help="guard the engine ladder instead: codegen "
                              "pps must be >= fast pps on this machine")
+    parser.add_argument("--net", action="store_true",
+                        help="guard the traffic plane instead: batched "
+                             "replay must beat event replay and match "
+                             "its outputs exactly")
+    parser.add_argument("--net-rate", type=float, default=100_000.0,
+                        help="[--net] offered replay rate (default 1e5)")
+    parser.add_argument("--net-duration", type=float, default=0.05,
+                        help="[--net] simulated seconds (default 0.05)")
+    parser.add_argument("--net-floor-pps", type=float, default=0.0,
+                        help="[--net] also require this absolute batched "
+                             "rate (default 0 = relative check only)")
     args = parser.parse_args(argv)
 
+    if args.net:
+        return guard_net(args.net_rate, args.net_duration,
+                         args.net_floor_pps)
     if args.codegen:
         return guard_codegen(args.packets, args.tolerance)
 

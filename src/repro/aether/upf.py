@@ -46,6 +46,11 @@ def _upf_ecmp_hash(ctx) -> None:
     ctx.write("meta.ecmp_select", zlib.crc32(blob) % width)
 
 
+# Deterministic function of parser-derived metadata with no side
+# effects: eligible for flow-level fast-forwarding (repro.net).
+_upf_ecmp_hash.pure = True
+
+
 def upf_program(name: str = "fabric_upf") -> ir.P4Program:
     """Build the UPF forwarding program."""
     program = ir.P4Program(name=name)

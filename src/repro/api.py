@@ -190,7 +190,10 @@ def difftest(*, seed: int = 0, iters: int = 100, workers: int = 1,
 
 def bench(*, packets: int = 5000, replay: bool = True, workers: int = 1,
           out: Optional[str] = None, optimize: bool = False,
-          engines: Any = None) -> Dict[str, Any]:
+          engines: Any = None, net: bool = False,
+          rate_pps: Optional[float] = None,
+          duration_s: Optional[float] = None,
+          seed: int = 5) -> Dict[str, Any]:
     """Benchmark the behavioral model: interp vs fast vs codegen
     packets/sec (plus the codegen engine's batch entry point), a
     campus-replay goodput parity check, and a metered metrics snapshot.
@@ -202,7 +205,27 @@ def bench(*, packets: int = 5000, replay: bool = True, workers: int = 1,
     Returns the report dict (written to ``out`` as JSON when given;
     each write appends the run to the report's ``history`` list so the
     pps trajectory across commits is preserved).
+
+    ``net=True`` switches to the traffic-plane benchmark instead
+    (:func:`repro.experiments.netbench.run_net_bench`): a fig12-style
+    campus replay through the full simulated fabric in both the batched
+    and event-per-packet network modes, with an exact-equivalence stamp
+    and a sustained-rate verdict against the paper's 350K pps mirror
+    rate.  ``rate_pps``/``duration_s`` shape the offered load (defaults
+    400K pps for 1 simulated second); ``out`` then defaults to
+    ``BENCH_net.json`` at the CLI.  ``packets``/``replay``/``workers``/
+    ``optimize`` do not apply to the net benchmark.
     """
+    if net:
+        from .experiments.netbench import (DEFAULT_DURATION_S,
+                                           DEFAULT_RATE_PPS, run_net_bench)
+
+        engine = engines[0] if engines else "codegen"
+        return run_net_bench(
+            rate_pps=rate_pps if rate_pps is not None else DEFAULT_RATE_PPS,
+            duration_s=(duration_s if duration_s is not None
+                        else DEFAULT_DURATION_S),
+            seed=seed, engine=engine, out_path=out)
     from .experiments.bench import run_bench
 
     return run_bench(packets=packets, replay=replay, out_path=out,

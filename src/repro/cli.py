@@ -9,6 +9,7 @@ Commands:
 * ``table1``                   — reproduce Table 1
 * ``fig12``                    — run the Figure 12 RTT experiment
 * ``bench``                    — benchmark the interp/fast/codegen engines
+  (``--net``: paper-rate traffic-plane replay, batched vs event mode)
 * ``difftest``                 — three-level differential oracle
 * ``dump-src <target>``        — print the codegen engine's generated
   Python source for a pipeline, with line numbers
@@ -197,9 +198,24 @@ def _parse_engines(text: str) -> Optional[List[str]]:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from .api import bench
-    from .experiments import format_bench
+    from .experiments import format_bench, format_net_bench
 
     engines = _parse_engines(args.engine)
+    if args.net:
+        out = args.out if args.out != "BENCH_throughput.json" \
+            else "BENCH_net.json"
+        engine = engines[0] if engines else "codegen"
+        print(f"net-plane replay benchmark (engine {engine}, "
+              f"{args.rate:,.0f} pps offered for {args.duration}s "
+              "simulated)...")
+        result = bench(net=True, rate_pps=args.rate,
+                       duration_s=args.duration, out=out,
+                       engines=engines)
+        print(format_net_bench(result))
+        if out:
+            print(f"wrote {out}")
+        return 0 if result["sustained"] and result["equivalence"]["ok"] \
+            else 1
     label = ", ".join(engines) if engines else "interp, fast, codegen"
     print(f"benchmarking {label} engines "
           f"({args.packets} packets per run"
@@ -515,6 +531,18 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default 1)")
     p.add_argument("--optimize", action="store_true",
                    help="benchmark the dataflow-optimized checker")
+    p.add_argument("--net", action="store_true",
+                   help="run the traffic-plane benchmark instead: "
+                        "fig12-style campus replay through the full "
+                        "fabric, batched vs event mode, against the "
+                        "paper's 350K pps mirror rate (writes "
+                        "BENCH_net.json unless -o is given)")
+    p.add_argument("--rate", type=float, default=400_000.0,
+                   help="[--net] offered replay rate in packets/sec "
+                        "(default 400000)")
+    p.add_argument("--duration", type=float, default=1.0,
+                   help="[--net] simulated seconds of trace to replay "
+                        "(default 1.0)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(

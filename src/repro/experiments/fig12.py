@@ -40,6 +40,7 @@ class Fig12Config:
     """Scaled-down experiment parameters (see module docstring)."""
 
     link_bandwidth_bps: float = 100e6
+    link_latency_s: float = 1e-6
     load_bps_per_pair: float = 40e6
     load_packet_len: int = 1400
     duration_s: float = 0.4
@@ -47,6 +48,7 @@ class Fig12Config:
     seed: int = 11
     engine: str = "fast"  # Bmv2Switch execution engine for every switch
     optimize: bool = False  # run the dataflow optimizer on every checker
+    batched: bool = False  # Network batch hot loop (timing-identical)
 
 
 @dataclass
@@ -82,6 +84,7 @@ def build_fabric(checkers: Optional[List[str]],
     without a full suite of Hydra checkers linked in."""
     obs = obs if obs is not None else NULL_OBS
     topology = leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2,
+                          link_latency_s=config.link_latency_s,
                           bandwidth_bps=config.link_bandwidth_bps)
     forwarding = {name: upf_program(f"fabric_upf_{name}")
                   for name in topology.switches}
@@ -90,7 +93,8 @@ def build_fabric(checkers: Optional[List[str]],
         with profiled(obs.registry, "compile"):
             compiled = compile_suite(checkers, optimize=config.optimize)
         deployment = HydraDeployment(topology, compiled, forwarding,
-                                     engine=config.engine, obs=obs)
+                                     engine=config.engine, obs=obs,
+                                     batched=config.batched)
         network = deployment.network
         switches = deployment.switches
     else:
@@ -100,7 +104,8 @@ def build_fabric(checkers: Optional[List[str]],
                              engine=config.engine, obs=obs)
             for name, spec in topology.switches.items()
         }
-        network = Network(topology, switches, obs=obs)
+        network = Network(topology, switches, obs=obs,
+                          batched=config.batched)
     install_fabric_routes(topology, switches)
     if deployment is not None:
         configure_checker_controls(deployment, topology)

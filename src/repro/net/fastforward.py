@@ -1,0 +1,74 @@
+"""Flow-level fast-forwarding support for the batched network mode.
+
+The batched :class:`~repro.net.simulator.Network` skips per-hop events
+for uncontended traffic by walking a packet's whole path eagerly (see
+``Network._walk``) and, when the fabric is *stateless*, by caching the
+resulting transit record per source template packet so repeat emissions
+replay with pure float arithmetic — no pipeline execution at all.
+
+This module holds the admission rule: a switch program may be skipped
+on cache hits only when re-running it could not observe or produce
+anything a skipped run would miss.  That means no register reads or
+writes, no digests, and no extern calls — except externs explicitly
+marked pure (``fn.pure = True``), which declares that the extern is a
+deterministic function of the packet context with no side effects
+(e.g. the fabric-upf ECMP flow hash).
+
+The check is structural over the IR: it walks the ingress/egress
+bodies and every action body (tables dispatch only into actions, so
+that covers all reachable statements regardless of which entries are
+installed).  Control-plane *table* changes do not affect the verdict —
+they change which cached routes are valid, which the network handles
+by flushing its flow cache on any config change — but they never make
+a stateless program stateful.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..p4 import ir
+
+#: Flow caches are bounded: traffic that never reuses template packets
+#: (one-off pings, echo replies) would otherwise grow the cache without
+#: bound.  Crossing the ceiling clears the cache — it is a cache.  The
+#: ceiling is sized for paper-rate campus replay, where heavy-tailed
+#: flow churn creates tens of thousands of (flow, size) templates per
+#: simulated second.
+FLOW_CACHE_MAX = 131_072
+
+
+def extern_is_pure(stmt: ir.ExternCall) -> bool:
+    """An extern may be fast-forwarded iff its fn self-declares purity."""
+    return bool(getattr(stmt.fn, "pure", False))
+
+
+def _stmts_stateless(stmts: Iterable[ir.P4Stmt]) -> bool:
+    for stmt in stmts:
+        if isinstance(stmt, (ir.RegisterRead, ir.RegisterWrite, ir.Digest)):
+            return False
+        if isinstance(stmt, ir.ExternCall) and not extern_is_pure(stmt):
+            return False
+        if isinstance(stmt, ir.IfStmt):
+            if not _stmts_stateless(stmt.then_body):
+                return False
+            if not _stmts_stateless(stmt.else_body):
+                return False
+        elif isinstance(stmt, ir.ApplyTable):
+            if not _stmts_stateless(stmt.hit_body):
+                return False
+            if not _stmts_stateless(stmt.miss_body):
+                return False
+    return True
+
+
+def stateless_program(program: ir.P4Program) -> bool:
+    """True iff every statement reachable in ``program`` is stateless.
+
+    Walks ingress, egress, and *all* action bodies — actions are the
+    only other statement containers, and which ones run depends on
+    runtime table entries, so all of them must qualify.
+    """
+    bodies: List[List[ir.P4Stmt]] = [program.ingress, program.egress]
+    bodies.extend(action.body for action in program.actions.values())
+    return all(_stmts_stateless(body) for body in bodies)

@@ -11,6 +11,25 @@ program runs as long as the stage count is unchanged* — plus store-and-
 forward serialization of the actual packet bytes.  Hydra's telemetry
 header therefore costs only its extra serialization bytes, which is why
 Figure 12 finds no significant RTT difference.
+
+Two execution modes share one timing model:
+
+* **event mode** (default) — one scheduler event per enqueue / arrival /
+  forward, exactly the historical behaviour;
+* **batched mode** (``Network(batched=True)``) — the hot loop for
+  paper-rate replay.  Packets walk their whole path eagerly inside one
+  event under the *horizon invariant* (every eagerly executed step must
+  predate the next pending scheduler event, else the walk parks itself
+  as a continuation event), stateless fabrics fast-forward repeat
+  template emissions through cached per-flow transit records, and
+  stateful fabrics drain bursts through ``Bmv2Switch.process_batch``
+  one switch at a time.  See ``docs/INTERNALS.md`` for the invariants.
+
+The scheduler itself is a slotted timing wheel (per-slot min-heaps keep
+the exact ``(time, seq)`` FIFO order of the old global heap) with a
+plain heap fallback for events beyond the wheel window — far-future
+pre-scheduled load lands there and migrates into the wheel as the
+window advances.
 """
 
 from __future__ import annotations
@@ -18,16 +37,26 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, Iterator, List, Optional,
+                    Tuple)
 
 from ..obs import NULL_OBS, Observability
 from ..p4.bmv2 import (DEFAULT_LOG_CAPACITY, Bmv2Switch, BoundedLog,
                        DigestMessage)
+from .fastforward import FLOW_CACHE_MAX, stateless_program
 from .packet import Packet
 from .topology import Endpoint, Link, Topology
 
 DEFAULT_STAGE_DELAY_S = 40e-9     # per-pipeline-stage latency
 DEFAULT_STAGES = 12               # the Aether fabric-upf baseline
+
+#: Largest number of due emissions a batched source drains per wakeup.
+BURST_LIMIT = 512
+
+
+def _noop() -> None:
+    """Sentinel event body: marks a virtual time the batched drain
+    already executed work at, so the clock ends where event mode's."""
 
 
 @dataclass(order=True)
@@ -38,34 +67,140 @@ class _Event:
 
 
 class Simulator:
-    """A minimal discrete-event scheduler."""
+    """A discrete-event scheduler: slotted timing wheel + far heap.
 
-    def __init__(self):
-        self._events: List[_Event] = []
-        self._seq = itertools.count()
+    Events inside the wheel window (``wheel_slots * slot_width_s``
+    ahead of the high-water mark of ``now``) live in small per-slot
+    heaps; everything farther out lives in one overflow heap and
+    migrates into the wheel as the window advances.  Execution order is
+    identical to a single global heap: ascending ``(time, seq)``, so
+    simultaneous events run in scheduling order.
+    """
+
+    def __init__(self, slot_width_s: float = 1e-6, wheel_slots: int = 4096):
         self.now = 0.0
+        #: The ``until`` bound of the innermost :meth:`run` call — the
+        #: batched network consults it so eager walks never execute
+        #: simulated work past the caller's stop time.
+        self.run_until: Optional[float] = None
+        self._slot_w = slot_width_s
+        self._nslots = wheel_slots
+        self._wheel: List[List[Tuple[float, int, Callable[[], None]]]] = [
+            [] for _ in range(wheel_slots)]
+        self._wheel_len = 0
+        self._far: List[Tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        # Window anchor: the high-water mark of now, in slots.  Batched
+        # walks may transiently step ``now`` backwards (a new walk
+        # starts earlier than the previous walk finished); anchoring
+        # the window at the high-water mark keeps every wheel entry
+        # inside [base, base + nslots) regardless.
+        self._base_slot = 0
+        # First wheel slot that may hold the next event; lowered on
+        # insert, advanced by scans.  Makes repeated peeks O(1).
+        self._scan_slot = 0
 
     def schedule(self, delay: float, callback: Callable[[], None]) -> None:
         if delay < 0:
             raise ValueError("cannot schedule into the past")
-        heapq.heappush(
-            self._events, _Event(self.now + delay, next(self._seq), callback)
-        )
+        self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float,
+                    callback: Callable[[], None]) -> None:
+        """Schedule at an absolute simulated time.
+
+        Times at or before ``now`` are legal and fire next, ordered by
+        ``(time, seq)`` like every other event — the batched network
+        uses this for continuation events anchored to virtual times.
+        """
+        entry = (time, next(self._seq), callback)
+        slot = int(time / self._slot_w)
+        base = int(self.now / self._slot_w)
+        if base > self._base_slot:
+            self._base_slot = base
+        if slot < self._base_slot + self._nslots:
+            heapq.heappush(self._wheel[slot % self._nslots], entry)
+            self._wheel_len += 1
+            if slot < self._scan_slot:
+                self._scan_slot = slot
+        else:
+            heapq.heappush(self._far, entry)
+
+    def _next(self, pop: bool) -> Optional[Tuple[float, int, Callable]]:
+        if not self._wheel_len and not self._far:
+            return None
+        slot_w = self._slot_w
+        base = int(self.now / slot_w)
+        if base > self._base_slot:
+            self._base_slot = base
+        limit = self._base_slot + self._nslots
+        far = self._far
+        wheel = self._wheel
+        nslots = self._nslots
+        # Migrate far-future events whose slot entered the window.
+        while far and far[0][0] < limit * slot_w:
+            entry = heapq.heappop(far)
+            slot = int(entry[0] / slot_w)
+            heapq.heappush(wheel[slot % nslots], entry)
+            self._wheel_len += 1
+            if slot < self._scan_slot:
+                self._scan_slot = slot
+        if self._wheel_len:
+            # Any in-window event precedes every far event, so the
+            # first occupied slot from the scan cursor holds the min.
+            # A physical slot counts as occupied at this index only if
+            # its earliest entry actually belongs here: when the cursor
+            # lags more than ``nslots`` behind the window's top (legal —
+            # overdue continuations may sit below the base), a high
+            # absolute slot aliases onto a low physical index, and
+            # accepting its entry early would reorder events.  The top
+            # entry decides exactly: the in-slot heap is time-ordered
+            # and time -> slot is monotonic, so an aliased top means
+            # every entry in the slot belongs to a later index.
+            slot_index = self._scan_slot
+            while slot_index < limit:
+                slot = wheel[slot_index % nslots]
+                if slot and int(slot[0][0] / slot_w) == slot_index:
+                    self._scan_slot = slot_index
+                    if pop:
+                        self._wheel_len -= 1
+                        return heapq.heappop(slot)
+                    return slot[0]
+                slot_index += 1
+            self._scan_slot = slot_index
+        if far:
+            return heapq.heappop(far) if pop else far[0]
+        return None
+
+    def peek_next_time(self) -> Optional[float]:
+        """Earliest pending event time, or None — the batched network's
+        *horizon*: eager work strictly before it cannot be observed by,
+        or observe, anything still in the queue."""
+        entry = self._next(pop=False)
+        return entry[0] if entry is not None else None
 
     def run(self, until: Optional[float] = None) -> None:
-        while self._events:
-            if until is not None and self._events[0].time > until:
+        prev_until = self.run_until
+        self.run_until = until
+        try:
+            while True:
+                entry = self._next(pop=False)
+                if entry is None:
+                    break
+                if until is not None and entry[0] > until:
+                    self.now = until
+                    return
+                entry = self._next(pop=True)
+                self.now = entry[0]
+                entry[2]()
+            if until is not None:
                 self.now = until
-                return
-            event = heapq.heappop(self._events)
-            self.now = event.time
-            event.callback()
-        if until is not None:
-            self.now = until
+        finally:
+            self.run_until = prev_until
 
     @property
     def pending(self) -> int:
-        return len(self._events)
+        return self._wheel_len + len(self._far)
 
 
 class Host:
@@ -74,6 +209,10 @@ class Host:
     When no callback is registered, receptions accumulate in
     ``received``; with callbacks registered, each gets every packet
     (callbacks filter for the traffic they care about).
+
+    ``tx_count`` counts packets that actually started serializing onto
+    the wire; sends still queued (``send`` with a future delay) or
+    dropped at the NIC FIFO (``nic_drops``) are not transmissions.
     """
 
     def __init__(self, name: str, network: "Network"):
@@ -83,6 +222,13 @@ class Host:
         self.rx_callbacks: List[Callable[[float, Packet], None]] = []
         self.tx_count = 0
         self.rx_count = 0
+        self.rx_bytes = 0
+        #: Simulated time of the most recent delivery to this host —
+        #: survives rx callbacks consuming the packet, unlike
+        #: ``received`` (which callbacks bypass).
+        self.last_rx_time: Optional[float] = None
+        #: Packets dropped at this host's NIC FIFO (queue_full).
+        self.nic_drops = 0
         # NIC serialization queue: time at which the host's (single)
         # uplink finishes its current transmission — hosts get the same
         # FIFO treatment as switch output ports, so injecting above link
@@ -95,14 +241,15 @@ class Host:
 
     def send(self, packet: Packet, delay: float = 0.0) -> None:
         """Transmit toward the attached switch after ``delay`` seconds."""
-        self.tx_count += 1
         self.network.sim.schedule(
             delay, lambda: self.network.transmit_from_host(self.name, packet)
         )
 
-    def deliver(self, packet: Packet) -> None:
+    def deliver(self, packet: Packet, length: Optional[int] = None) -> None:
         self.rx_count += 1
+        self.rx_bytes += packet.length if length is None else length
         now = self.network.sim.now
+        self.last_rx_time = now
         if self.rx_callbacks:
             for callback in self.rx_callbacks:
                 callback(now, packet)
@@ -129,6 +276,26 @@ class SwitchDevice:
         return self.stages * self.stage_delay_s
 
 
+class _LazySource:
+    """A lazily-consumed ``(time, packet)`` emission stream for a host.
+
+    Emission times must be non-decreasing.  The network pulls one
+    emission at a time, so paper-rate traces are never materialized.
+    """
+
+    __slots__ = ("host", "_iter", "head")
+
+    def __init__(self, host: str, emissions: Iterable[Tuple[float, Packet]]):
+        self.host = host
+        self._iter: Iterator[Tuple[float, Packet]] = iter(emissions)
+        self.head: Optional[Tuple[float, Packet]] = next(self._iter, None)
+
+    def pop(self) -> Tuple[float, Packet]:
+        head = self.head
+        self.head = next(self._iter, None)
+        return head
+
+
 class Network:
     """Hosts + switches wired per a :class:`Topology`, with a scheduler.
 
@@ -138,6 +305,12 @@ class Network:
     object identity.  (Host-side ``meta`` annotations survive: they
     stand in for payload contents, which this substrate models only as
     lengths.)
+
+    With ``batched=True`` the network runs the batch hot loop (eager
+    path walks + flow fast-forwarding + burst pipeline draining) with
+    timing identical to event mode; a live tracer disables the eager
+    machinery (trace consumers want one event per hop) and falls back
+    to event mode transparently.
     """
 
     def __init__(self, topology: Topology,
@@ -146,7 +319,8 @@ class Network:
                  serialize_on_wire: bool = False,
                  report_capacity: int = DEFAULT_LOG_CAPACITY,
                  obs: Optional[Observability] = None,
-                 max_queue_delay_s: Optional[float] = None):
+                 max_queue_delay_s: Optional[float] = None,
+                 batched: bool = False):
         self.topology = topology
         self.serialize_on_wire = serialize_on_wire
         self.sim = Simulator()
@@ -155,6 +329,7 @@ class Network:
         # drops the packet (reason=queue_full).  None = unbounded FIFO,
         # the historical behaviour.
         self.max_queue_delay_s = max_queue_delay_s
+        self.batched = batched
         self._trace = self.obs.tracer.live
         self._metrics = self.obs.registry.live
         if self._trace and self.obs.tracer.clock is None:
@@ -191,6 +366,17 @@ class Network:
             device.bmv2.on_digest(self.reports.append)
         self.packets_delivered = 0
         self.packets_lost = 0
+        # -- batched-mode state --------------------------------------------
+        self._sources: List[_LazySource] = []
+        #: Flow transit cache: (host, payload_len, header ids) -> legs.
+        self._flow_cache: Dict[tuple, list] = {}
+        # Bumped on every control-plane change; in-flight recordings
+        # and parked replays from an older generation are discarded.
+        self._cache_gen = 0
+        self._stateless: Optional[bool] = None  # computed lazily
+        if batched:
+            for device in self.switches.values():
+                device.bmv2.on_config_change(self._on_switch_config)
 
     def _on_report_evict(self, count: int) -> None:
         if self._metrics:
@@ -202,6 +388,9 @@ class Network:
     # -- transmission ------------------------------------------------------------
 
     def transmit_from_host(self, host_name: str, packet: Packet) -> None:
+        if self.batched and not self._trace:
+            self._walk_from_host(host_name, packet, self.sim.now)
+            return
         attach = self.topology.host_attachment(host_name)
         link = self.topology.link_at(attach.node, attach.port)
         assert link is not None
@@ -224,6 +413,8 @@ class Network:
         queue_wait = start - self.sim.now
         if (self.max_queue_delay_s is not None
                 and queue_wait > self.max_queue_delay_s):
+            if src.node in self.hosts:
+                self.hosts[src.node].nic_drops += 1
             self._drop(src.node, packet, "queue_full", port=src.port,
                        queue_wait_s=queue_wait)
             return
@@ -232,7 +423,11 @@ class Network:
             device.port_busy_until[src.port] = start + tx_time
             device.bytes_forwarded += packet.length
         else:
-            self.hosts[src.node].nic_busy_until = start + tx_time
+            # The packet is actually going onto the wire: this — not
+            # Host.send scheduling time — is when it counts as sent.
+            host = self.hosts[src.node]
+            host.nic_busy_until = start + tx_time
+            host.tx_count += 1
         ready = start + tx_time
         if self._trace:
             self.obs.tracer.emit(
@@ -261,21 +456,28 @@ class Network:
     @staticmethod
     def _wire_roundtrip(packet: Packet) -> Packet:
         """Serialize every header to bits and re-parse it — the packet
-        that arrives is rebuilt purely from its wire representation."""
+        that arrives is rebuilt purely from its wire representation.
+
+        Invalid headers are preserved bit-for-bit with their validity
+        flag intact: a header invalidated at one hop and re-validated
+        downstream must behave identically whether or not the wire
+        roundtrip runs, so the roundtrip may not discard its contents.
+        """
         from .packet import Header
 
         rebuilt = []
         for header in packet.headers:
-            if not header.valid:
-                continue
             bits, _ = header.to_bits()
-            rebuilt.append(Header.from_bits(header.htype, bits))
+            copy = Header.from_bits(header.htype, bits)
+            copy.valid = header.valid
+            rebuilt.append(copy)
         out = Packet(headers=rebuilt, payload_len=packet.payload_len,
                      meta=dict(packet.meta))
         out.packet_id = packet.packet_id
         return out
 
-    def _arrive(self, end: Endpoint, packet: Packet) -> None:
+    def _arrive(self, end: Endpoint, packet: Packet,
+                length: Optional[int] = None) -> None:
         if end.node in self.hosts:
             self.packets_delivered += 1
             if self._metrics:
@@ -283,7 +485,7 @@ class Network:
             if self._trace:
                 self.obs.tracer.emit("deliver", end.node, packet.packet_id,
                                      port=end.port, packet=packet)
-            self.hosts[end.node].deliver(packet)
+            self.hosts[end.node].deliver(packet, length)
             return
         device = self.switches[end.node]
         self.sim.schedule(
@@ -309,6 +511,1062 @@ class Network:
             self._send_over(link, Endpoint(device.name, egress_port),
                             out_packet)
 
+    # ==================================================================
+    # Batched mode: eager walks, flow fast-forwarding, burst draining
+    # ==================================================================
+    #
+    # Exactness rests on the horizon invariant: simulated work at
+    # virtual time t may run eagerly only while t strictly precedes
+    # both the earliest pending scheduler event and the attached
+    # source's next emission time (the "cap") — anything at or beyond
+    # that horizon parks itself as a continuation event and the
+    # scheduler takes over.  All timing arithmetic below replicates
+    # ``_send_over``/``_arrive`` float-expression-for-float-expression,
+    # so both modes produce bit-identical timestamps.
+
+    def attach_source(self, host_name: str,
+                      emissions: Iterable[Tuple[float, Packet]]) -> None:
+        """Attach a lazy ``(time, packet)`` emission stream to a host.
+
+        Works in both modes: event mode self-schedules one emission at
+        a time (O(1) memory, unlike pre-materializing ``Host.send``
+        calls); batched mode drains every due emission per wakeup.
+        Emission times must be non-decreasing.
+        """
+        if host_name not in self.hosts:
+            raise ValueError(f"unknown host {host_name!r}")
+        source = _LazySource(host_name, emissions)
+        if source.head is None:
+            return
+        self._sources.append(source)
+        self.sim.schedule_at(source.head[0], lambda: self._pump(source))
+
+    def _pump(self, source: _LazySource) -> None:
+        if not (self.batched and not self._trace):
+            # Event mode: transmit the head emission, reschedule for
+            # the next — one event per emission, nothing materialized.
+            when, packet = source.pop()
+            self.transmit_from_host(source.host, packet)
+            if source.head is not None:
+                self.sim.schedule_at(source.head[0],
+                                     lambda: self._pump(source))
+            return
+        if self._ff_ready():
+            self._drain(source)
+            return
+        sim = self.sim
+        until = sim.run_until
+        while source.head is not None:
+            when = source.head[0]
+            horizon = sim.peek_next_time()
+            # Park only when the emission is strictly in the future: a
+            # pump popped at its own head time owns this instant (every
+            # pending same-time event has a larger seq and serializes
+            # after it).  Re-parking at ties would ping-pong forever
+            # against another same-instant continuation doing the same.
+            if ((until is not None and when > until)
+                    or (horizon is not None and when >= horizon
+                        and when > sim.now)):
+                sim.schedule_at(when, lambda: self._pump(source))
+                return
+            # Stateful fabric: drain every due emission into one burst
+            # and push it through the switches a whole stage at a time.
+            burst: List[Tuple[float, Packet]] = [source.pop()]
+            while (source.head is not None and len(burst) < BURST_LIMIT):
+                when = source.head[0]
+                if ((horizon is not None and when >= horizon)
+                        or (until is not None and when > until)):
+                    break
+                burst.append(source.pop())
+            cap = source.head[0] if source.head is not None else None
+            self._walk_burst(source.host, burst, cap)
+
+    def _ff_ready(self) -> bool:
+        """Flow fast-forwarding admission: every switch stateless, no
+        wire serialization, no live tracer (checked by callers)."""
+        if self.serialize_on_wire:
+            return False
+        if self._stateless is None:
+            self._stateless = all(
+                stateless_program(device.bmv2.program)
+                for device in self.switches.values())
+        return self._stateless
+
+    def _on_switch_config(self, *_args: Any) -> None:
+        """Any control-plane change invalidates cached transit records
+        (routes may differ); program structure is immutable, so the
+        statelessness verdict stands.  The generation bump also voids
+        in-flight recordings and parked replay continuations."""
+        self._cache_gen += 1
+        if self._flow_cache:
+            self._flow_cache.clear()
+
+    def _host_uplink(self, host_name: str) -> Tuple[Link, Endpoint]:
+        attach = self.topology.host_attachment(host_name)
+        link = self.topology.link_at(attach.node, attach.port)
+        assert link is not None
+        return link, Endpoint(host_name, 0)
+
+    def _horizon(self, cap: Optional[float]) -> Optional[float]:
+        """The eager-execution bound: min(next pending event, cap)."""
+        horizon = self.sim.peek_next_time()
+        if cap is not None and (horizon is None or cap < horizon):
+            return cap
+        return horizon
+
+    def _walk_from_host(self, host_name: str, packet: Packet, t: float,
+                        cap: Optional[float] = None) -> None:
+        if self._ff_ready() and packet.headers:
+            gen = self._cache_gen
+            # Template emissions memoize their own record (validated by
+            # generation); the keyed cache is the fallback for distinct
+            # packet objects sharing Header instances.
+            ff = getattr(packet, "_ff", None)
+            if ff is not None and ff[0] == gen and ff[2] == host_name:
+                self._replay_record(ff[1], packet, t, cap, 0, gen)
+                return
+            key = (host_name, packet.payload_len) + tuple(
+                map(id, packet.headers))
+            legs = self._flow_cache.get(key)
+            if legs is not None:
+                packet._ff = self._ff_memo(gen, legs, host_name)
+                self._replay_record(legs, packet, t, cap, 0, gen)
+                return
+            self._walk("wire", host_name, 0, packet, t, cap,
+                       [("gen", gen)], key)
+            return
+        self._walk("wire", host_name, 0, packet, t, cap, None, None)
+
+    def _defer_walk(self, phase: str, node: str, port: int, packet: Packet,
+                    t: float, rec: Optional[list] = None,
+                    key: Optional[tuple] = None) -> None:
+        """Park a walk as a continuation event at its virtual time.
+
+        An in-flight recording survives the park (the continuation
+        keeps appending to ``rec``); :meth:`_store_record` discards it
+        at store time if the cache generation moved meanwhile.
+        """
+        self.sim.schedule_at(
+            t,
+            lambda: self._walk(phase, node, port, packet, t, None,
+                               rec, key))
+
+    def _walk(self, phase: str, node: str, port: int, packet: Packet,
+              t: float, cap: Optional[float], rec: Optional[list],
+              key: Optional[tuple]) -> None:
+        """Eagerly execute one packet's path starting at virtual time
+        ``t``.
+
+        ``phase`` is ``"wire"`` (about to serialize from ``node`` out
+        of ``port``; hosts always use port 0) or ``"fw"`` (pipeline
+        about to run at switch ``node``, ingress ``port``).  ``rec``
+        accumulates a cacheable transit record; it survives deferrals
+        (the continuation keeps recording) and is abandoned on
+        multicast or routing anomalies — only clean single-path walks
+        are worth replaying.
+        """
+        sim = self.sim
+        topology = self.topology
+        switches = self.switches
+        hosts = self.hosts
+        maxq = self.max_queue_delay_s
+        horizon = self._horizon(cap)
+        until = sim.run_until
+        while True:
+            # A step at the current instant never parks: when this walk
+            # is the continuation the scheduler just popped, every
+            # pending event at the same time has a larger seq and
+            # serializes after it — deferring again would re-park
+            # behind that event and livelock if it, too, is a parked
+            # continuation at this instant.  Steps that advance past
+            # ``sim.now`` re-check the horizon as usual.
+            if ((until is not None and t > until)
+                    or (horizon is not None and t >= horizon
+                        and t > sim.now)):
+                self._defer_walk(phase, node, port, packet, t, rec, key)
+                return
+            sim.now = t
+            if phase == "wire":
+                from_host = node in hosts
+                if from_host:
+                    link, src = self._host_uplink(node)
+                else:
+                    link = topology.link_at(node, port)
+                    if link is None:
+                        self._drop(node, packet, "no_route", port=port)
+                        return
+                    src = Endpoint(node, port)
+                plen = packet.length
+                tx_time = plen * 8 / link.bandwidth_bps
+                if from_host:
+                    host = hosts[node]
+                    busy_until = host.nic_busy_until
+                else:
+                    device = switches[node]
+                    busy_until = device.port_busy_until.get(port, 0.0)
+                start = max(t, busy_until)
+                queue_wait = start - t
+                if maxq is not None and queue_wait > maxq:
+                    if from_host:
+                        hosts[node].nic_drops += 1
+                    self._drop(node, packet, "queue_full", port=port,
+                               queue_wait_s=queue_wait)
+                    return
+                if from_host:
+                    host.nic_busy_until = start + tx_time
+                    host.tx_count += 1
+                else:
+                    device.port_busy_until[port] = start + tx_time
+                    device.bytes_forwarded += plen
+                ready = start + tx_time
+                if rec is not None:
+                    if from_host:
+                        rec.append(("hw", node, port, tx_time,
+                                    link.latency_s, plen, packet, host))
+                    else:
+                        rec.append(("sw", node, port, tx_time,
+                                    link.latency_s, plen, packet, device))
+                if self.serialize_on_wire:
+                    packet = self._wire_roundtrip(packet)
+                arrival = (ready - t) + link.latency_s + t
+                dst = link.other(src)
+                if dst.node in hosts:
+                    if rec is not None:
+                        rec.append(("dv", dst.node, dst.port, packet, plen,
+                                    Endpoint(dst.node, dst.port),
+                                    hosts[dst.node]))
+                        self._store_record(key, rec)
+                    self._deliver_walk(dst.node, dst.port, packet, arrival,
+                                       horizon, until, plen)
+                    return
+                device = switches[dst.node]
+                t = arrival + device.processing_delay_s
+                phase = "fw"
+                node = dst.node
+                port = dst.port
+                if rec is not None:
+                    rec.append(("fw", node, port,
+                                device.processing_delay_s, packet))
+                continue
+            # phase == "fw": the pipeline runs at forward time t.
+            device = switches[node]
+            outputs = device.bmv2.process(packet, port)
+            if not outputs:
+                self.packets_lost += 1
+                if rec is not None:
+                    rec.append(("dr",))
+                    self._store_record(key, rec)
+                return
+            if len(outputs) > 1:
+                # Multicast: hand every copy to the scheduler at this
+                # virtual time — events preserve the event path's
+                # output order exactly.
+                for egress_port, out_packet in outputs:
+                    self._defer_walk("wire", node, egress_port,
+                                     out_packet, t)
+                return
+            egress_port, packet = outputs[0]
+            phase = "wire"
+            port = egress_port
+
+    def _store_record(self, key: Optional[tuple], legs: list) -> None:
+        if key is None:
+            return
+        # legs[0] is the ("gen", g) sentinel stamped when recording
+        # began; a control-plane change mid-flight voids the record
+        # (its early legs reflect the old routes).
+        if legs[0][1] != self._cache_gen:
+            return
+        if len(self._flow_cache) >= FLOW_CACHE_MAX:
+            self._flow_cache.clear()
+        stored = legs[1:]
+        self._flow_cache[key] = stored
+        # Memoize the record on the source template itself (the packet
+        # recorded at the NIC leg) so repeat emissions of the same
+        # object skip the keyed lookup entirely.
+        first = stored[0]
+        if first[0] == "hw":
+            first[6]._ff = self._ff_memo(self._cache_gen, stored,
+                                         first[1])
+
+    @staticmethod
+    def _ff_memo(gen: int, legs: list, host_name: str) -> tuple:
+        """Build a template's replay memo (checked in ``_drain`` and
+        :meth:`_walk_from_host`).
+
+        The memo carries the emitting host: the same template sent from
+        a different host takes a different path, so a host mismatch
+        falls through to the keyed cache.  Records with the canonical
+        one-switch shape additionally carry their legs pre-unpacked so
+        the drain's straight-line path pays no per-emission shape test:
+
+          ``(gen, legs, host, hw, fw_delay, sw, dv, dv_host)``
+
+        Any other shape stores ``(gen, legs, host, None)``.
+        """
+        if (len(legs) == 4 and legs[1][0] == "fw" and legs[2][0] == "sw"
+                and legs[3][0] == "dv"):
+            return (gen, legs, host_name, legs[0], legs[1][3], legs[2],
+                    legs[3], legs[3][6])
+        return (gen, legs, host_name, None)
+
+    def _deliver_walk(self, host_name: str, port: int, packet: Packet,
+                      arrival: float, horizon: Optional[float],
+                      until: Optional[float],
+                      length: Optional[int] = None) -> None:
+        """Deliver at virtual time ``arrival``: inline when the host is
+        inert (no rx callbacks — nothing it does can be observed before
+        the walk returns) and the horizon allows it, else as a
+        scheduler event so callbacks fire at their true simulated time
+        with the queue in charge."""
+        host = self.hosts[host_name]
+        if (host.rx_callbacks
+                or (horizon is not None and arrival >= horizon)
+                or (until is not None and arrival > until)):
+            end = Endpoint(host_name, port)
+            self.sim.schedule_at(arrival,
+                                 lambda: self._arrive(end, packet, length))
+            return
+        self.sim.now = arrival
+        self._arrive(Endpoint(host_name, port), packet, length)
+
+    def _replay_record(self, legs: list, emission: Packet, t: float,
+                       cap: Optional[float], start: int,
+                       gen: int) -> None:
+        """Fast-forward one emission through a cached transit record.
+
+        Pure float arithmetic per leg — no pipeline execution, no
+        per-hop events.  A leg that would cross the horizon parks the
+        replay as a continuation event at its exact virtual time and
+        resumes from that leg; if the cache generation moved while
+        parked (control-plane change — the remaining legs may reflect
+        stale routes), the continuation falls back to a plain walk
+        using the leg's recorded in-flight packet template, which is
+        value-identical for template emissions since pipelines are
+        deterministic functions of the packet.
+        """
+        sim = self.sim
+        maxq = self.max_queue_delay_s
+        horizon = self._horizon(cap)
+        until = sim.run_until
+        index = start
+        while True:
+            leg = legs[index]
+            code = leg[0]
+            if code == "dv":
+                self._deliver_walk(leg[1], leg[2],
+                                   self._replay_out(legs, leg, emission),
+                                   t, horizon, until, leg[4])
+                return
+            if code == "dr":
+                self.packets_lost += 1
+                return
+            # Same tie rule as _walk: a leg at the current instant
+            # belongs to the continuation that was just popped —
+            # re-parking at an equal-time horizon would livelock
+            # against another parked continuation at this instant.
+            if ((until is not None and t > until)
+                    or (horizon is not None and t >= horizon
+                        and t > sim.now)):
+                self.sim.schedule_at(
+                    t,
+                    lambda i=index, tt=t:
+                    self._replay_resume(legs, emission, tt, i, gen))
+                return
+            if code == "hw":
+                host = leg[7]
+                tx_time = leg[3]
+                start = max(t, host.nic_busy_until)
+                queue_wait = start - t
+                if maxq is not None and queue_wait > maxq:
+                    host.nic_drops += 1
+                    self._drop(leg[1], leg[6], "queue_full", port=0,
+                               queue_wait_s=queue_wait)
+                    return
+                host.nic_busy_until = start + tx_time
+                host.tx_count += 1
+                t = (start + tx_time - t) + leg[4] + t
+                index += 1
+            elif code == "sw":
+                device = leg[7]
+                port = leg[2]
+                tx_time = leg[3]
+                start = max(t, device.port_busy_until.get(port, 0.0))
+                queue_wait = start - t
+                if maxq is not None and queue_wait > maxq:
+                    self._drop(leg[1], leg[6], "queue_full", port=port,
+                               queue_wait_s=queue_wait)
+                    return
+                device.port_busy_until[port] = start + tx_time
+                device.bytes_forwarded += leg[5]
+                t = (start + tx_time - t) + leg[4] + t
+                index += 1
+            else:  # "fw": the pipeline is skipped; only its delay counts.
+                t = t + leg[3]
+                index += 1
+
+    @staticmethod
+    def _replay_out(legs: list, leg: tuple, emission: Packet) -> Packet:
+        """The packet a replayed delivery hands the host.
+
+        When the emission *is* the recorded source template (the normal
+        case — sources reuse template packets), the recorded output
+        packet is delivered as-is: it is exactly what the event path
+        delivered when the record was made, and repeat traversals of a
+        stateless fabric reproduce it bit-for-bit.  A different
+        emission object gets a fresh shell carrying its own id/meta.
+        """
+        out = leg[3]
+        first = legs[0]
+        if first[0] == "hw" and emission is first[6]:
+            return out
+        return Packet.shell(list(out.headers), out.payload_len,
+                            emission.packet_id, dict(emission.meta))
+
+    def _replay_resume(self, legs: list, emission: Packet, t: float,
+                       index: int, gen: int) -> None:
+        """Continuation of a parked replay (see :meth:`_replay_record`)."""
+        if gen == self._cache_gen:
+            self._replay_record(legs, emission, t, None, index, gen)
+            return
+        self._replay_stale(legs, t, index, None)
+
+    def _replay_stale(self, legs: list, t: float, index: int,
+                      cap: Optional[float]) -> None:
+        """The cache generation moved under a parked replay: finish the
+        remainder as a plain walk from the leg's recorded in-flight
+        template (value-identical for template emissions, since
+        stateless pipelines are deterministic functions of the
+        packet)."""
+        leg = legs[index]
+        if leg[0] == "fw":
+            self._walk("fw", leg[1], leg[2], leg[4], t, cap, None, None)
+        else:
+            self._walk("wire", leg[1], leg[2], leg[6], t, cap, None, None)
+
+    def _drain(self, source: _LazySource) -> None:
+        """The batch hot loop: drain a source through the fabric with a
+        local run queue instead of global scheduler events.
+
+        A tiny event loop over a local heap merges three item streams
+        in exact virtual-time order — source emissions, parked replay
+        continuations, and pending deliveries — and runs them inline
+        for as long as the next item precedes every *global* scheduler
+        event (the horizon) and the ``run(until)`` bound.  Heap entries
+        are plain tuples, so a park/resume cycle costs two heap ops
+        instead of a closure plus a scheduler round-trip.  The moment
+        the global queue intrudes, every local item is flushed back to
+        the scheduler as ordinary continuation events and the global
+        loop takes over — so the slow path remains the single source of
+        truth for anything the local loop cannot prove safe.
+
+        The loop is two-tiered.  With the local heap empty, emissions
+        whose memoized record has the canonical one-switch shape
+        (``hw``/``fw``/``sw``/``dv`` — see :meth:`_ff_memo`) replay on
+        a straight-line fast path; everything else (longer records,
+        parked continuations, rx callbacks) runs through the generic
+        leg loop.  The fast path keeps mutable endpoint state — the
+        source NIC's FIFO clock and tx count, the last-used switch
+        output port, the last delivery host's rx counters, the global
+        delivered counter, and the simulator clock high-water mark —
+        in locals, written back ("flushed") whenever control can reach
+        code that observes the real attributes: before any walk,
+        delivery callback, stale-replay fallback, the generic leg
+        loop, or any return.
+
+        Unlike the generic loop, the fast path does not park against
+        the source's own next emission time.  That is exact: every
+        emission of this source serializes through the same NIC FIFO
+        first, so a later emission reaches any switch this record
+        crosses no earlier than this packet did — and the one-switch
+        shape is the *shortest* route from that NIC to its output port
+        (a single pipeline delay), so no later packet can undercut its
+        claim by another route either.  Per-resource claims therefore
+        stay in arrival order without parking.  Anything that could
+        break the argument — a packet parked mid-path (non-empty local
+        heap), a global event (horizon), rx callbacks — falls back to
+        the generic loop or parks exactly as before.  Because fused
+        deliveries may thus run ahead of later (earlier-timed)
+        emissions, ``sim.now`` is not written per delivery; the
+        high-water mark is restored at every exit (as a sentinel event
+        when earlier global work is still queued) so the clock ends
+        where event mode would leave it.
+
+        Exactness elsewhere is unchanged: items execute in ascending
+        ``(time, local seq)`` order, generic replay legs yield to any
+        earlier item before claiming a port, and the strict
+        ``t < horizon`` bound means no local work runs at or past a
+        global event's time.
+
+        Local heap items (fixed arity, compared on ``(t, seq)``):
+          ``(t, seq, 0, legs, index, emission, gen)``  replay continuation
+          ``(t, seq, 1, None, endpoint, packet, length)``  delivery
+        """
+        sim = self.sim
+        inf = float("inf")
+        until = sim.run_until
+        stop = until if until is not None else inf
+        maxq = self.max_queue_delay_s
+        maxq_b = maxq if maxq is not None else inf
+        metrics = self._metrics
+        m_children: dict = {}
+        heap: list = []
+        hpush = heapq.heappush
+        hpop = heapq.heappop
+        nxt = next
+        seq = 0
+        # The horizon is hoisted out of the loop: mid-drain, global
+        # events are only *added* (by walks, deliveries with callbacks,
+        # and stale-replay fallbacks — all of which re-peek below) and
+        # never consumed, so between those points the cached value is
+        # exact, and the common replay iteration touches no scheduler
+        # state at all.  ``gen`` follows the same discipline (config
+        # changes only happen inside delivery callbacks).
+        peek = sim.peek_next_time
+        g = peek()
+        g_h = g if g is not None else inf
+        gen = self._cache_gen
+        now_hi = sim.now
+        src_name = source.host
+        src_host = self.hosts[src_name]
+        src_iter = source._iter
+        # -- fast-path write-back caches (flush discipline above) -----
+        nic_cached = True
+        nic_busy = src_host.nic_busy_until
+        ntx = 0                  # src_host.tx_count delta
+        cdev: Optional[SwitchDevice] = None   # cached output port ...
+        cport = -1
+        pbusy = 0.0
+        dbytes = 0               # cdev.bytes_forwarded delta
+        cdvh: Optional[Host] = None           # cached delivery host ...
+        crxc = 0                 # rx_count / rx_bytes deltas
+        crxb = 0
+        clast: Optional[float] = None
+        cappend = None
+        cmet = None
+        ndeliv = 0               # self.packets_delivered delta
+        while True:
+            head = source.head
+            if not heap:
+                # ======== fast tier: nothing parked locally ========
+                if head is None:
+                    # Source exhausted.  Event mode's last event would
+                    # be the latest delivery; restore that time (as a
+                    # sentinel event if the global queue still holds
+                    # earlier work).
+                    break
+                t = head[0]
+                if t >= g_h or t > stop:
+                    break
+                emission = head[1]
+                source.head = nxt(src_iter, None)
+                try:
+                    ff = emission._ff
+                except AttributeError:
+                    ff = None
+                if ff is not None and ff[0] == gen and ff[2] == src_name:
+                    hw = ff[3]
+                    if hw is not None:
+                        dvhost = ff[7]
+                        if dvhost is not cdvh:
+                            # Switch the delivery cache (callbacks are
+                            # re-checked here; they cannot appear
+                            # between flushes).
+                            if cdvh is not None:
+                                if crxc:
+                                    cdvh.rx_count += crxc
+                                    cdvh.rx_bytes += crxb
+                                    crxc = 0
+                                    crxb = 0
+                                cdvh.last_rx_time = clast
+                                cdvh = None
+                            if not dvhost.rx_callbacks:
+                                cdvh = dvhost
+                                clast = dvhost.last_rx_time
+                                cappend = dvhost.received.append
+                                cmet = (self._m_delivered.labels(
+                                    dvhost.name) if metrics else None)
+                        if dvhost is cdvh:
+                            # ---- straight-line one-switch replay ----
+                            if not nic_cached:
+                                nic_cached = True
+                                nic_busy = src_host.nic_busy_until
+                            start = t if t > nic_busy else nic_busy
+                            if start - t > maxq_b:
+                                src_host.nic_drops += 1
+                                self._drop(hw[1], hw[6], "queue_full",
+                                           port=0,
+                                           queue_wait_s=start - t)
+                                continue
+                            tx_time = hw[3]
+                            nic_busy = start + tx_time
+                            ntx += 1
+                            t = (start + tx_time - t) + hw[4] + t
+                            t = t + ff[4]
+                            if t >= g_h or t > stop:
+                                hpush(heap, (t, seq, 0, ff[1], 2,
+                                             emission, gen))
+                                seq += 1
+                                continue
+                            swleg = ff[5]
+                            device = swleg[7]
+                            port = swleg[2]
+                            if device is not cdev or port != cport:
+                                if cdev is not None:
+                                    cdev.port_busy_until[cport] = pbusy
+                                    if dbytes:
+                                        cdev.bytes_forwarded += dbytes
+                                        dbytes = 0
+                                cdev = device
+                                cport = port
+                                pbusy = device.port_busy_until.get(
+                                    port, 0.0)
+                            start = t if t > pbusy else pbusy
+                            if start - t > maxq_b:
+                                self._drop(swleg[1], swleg[6],
+                                           "queue_full", port=port,
+                                           queue_wait_s=start - t)
+                                continue
+                            tx_time = swleg[3]
+                            pbusy = start + tx_time
+                            dbytes += swleg[5]
+                            t = (start + tx_time - t) + swleg[4] + t
+                            dvleg = ff[6]
+                            if t >= g_h or t > stop:
+                                hpush(heap, (t, seq, 1, None, dvleg[5],
+                                             self._replay_out(
+                                                 ff[1], dvleg, emission),
+                                             dvleg[4]))
+                                seq += 1
+                                continue
+                            if t > now_hi:
+                                now_hi = t
+                            ndeliv += 1
+                            if metrics:
+                                cmet.inc()
+                            crxc += 1
+                            crxb += dvleg[4]
+                            clast = t
+                            out = dvleg[3]
+                            cappend(
+                                (t, out if emission is hw[6]
+                                 else Packet.shell(list(out.headers),
+                                                   out.payload_len,
+                                                   emission.packet_id,
+                                                   dict(emission.meta))))
+                            continue
+                    # Valid record, but not fast-path eligible: flush
+                    # the caches and run the generic leg loop below.
+                    legs = ff[1]
+                    index = 0
+                    wgen = gen
+                else:
+                    # No (valid) record: flush, then run the recording
+                    # walk, capped by whatever is due next here or
+                    # globally.
+                    if nic_cached:
+                        nic_cached = False
+                        src_host.nic_busy_until = nic_busy
+                        if ntx:
+                            src_host.tx_count += ntx
+                            ntx = 0
+                    if cdev is not None:
+                        cdev.port_busy_until[cport] = pbusy
+                        if dbytes:
+                            cdev.bytes_forwarded += dbytes
+                            dbytes = 0
+                        cdev = None
+                    if cdvh is not None:
+                        if crxc:
+                            cdvh.rx_count += crxc
+                            cdvh.rx_bytes += crxb
+                            crxc = 0
+                            crxb = 0
+                        cdvh.last_rx_time = clast
+                        cdvh = None
+                    if ndeliv:
+                        self.packets_delivered += ndeliv
+                        ndeliv = 0
+                    bound = source.head[0] if source.head is not None \
+                        else inf
+                    if g_h < bound:
+                        bound = g_h
+                    self._walk_from_host(src_name, emission, t,
+                                         bound if bound < inf else None)
+                    g = peek()   # the walk may have scheduled events
+                    g_h = g if g is not None else inf
+                    gen = self._cache_gen
+                    continue
+            else:
+                # ======== slow tier: parked items in play ========
+                # Flush the fast-path caches first — every branch here
+                # can observe or mutate the real attributes.  (All
+                # no-ops when already flushed.)
+                if nic_cached:
+                    nic_cached = False
+                    src_host.nic_busy_until = nic_busy
+                    if ntx:
+                        src_host.tx_count += ntx
+                        ntx = 0
+                if cdev is not None:
+                    cdev.port_busy_until[cport] = pbusy
+                    if dbytes:
+                        cdev.bytes_forwarded += dbytes
+                        dbytes = 0
+                    cdev = None
+                if cdvh is not None:
+                    if crxc:
+                        cdvh.rx_count += crxc
+                        cdvh.rx_bytes += crxb
+                        crxc = 0
+                        crxb = 0
+                    cdvh.last_rx_time = clast
+                    cdvh = None
+                if ndeliv:
+                    self.packets_delivered += ndeliv
+                    ndeliv = 0
+                head_t = head[0] if head is not None else inf
+                local_t = heap[0][0]
+                if head_t <= local_t:
+                    t = head_t
+                    from_source = True
+                else:
+                    t = local_t
+                    from_source = False
+                if t >= g_h or t > stop:
+                    break
+                if from_source:
+                    emission = head[1]
+                    source.head = nxt(src_iter, None)
+                    try:
+                        ff = emission._ff
+                    except AttributeError:
+                        ff = None
+                    if (ff is None or ff[0] != gen
+                            or ff[2] != src_name):
+                        bound = source.head[0] \
+                            if source.head is not None else inf
+                        if heap[0][0] < bound:
+                            bound = heap[0][0]
+                        if g_h < bound:
+                            bound = g_h
+                        self._walk_from_host(
+                            src_name, emission, t,
+                            bound if bound < inf else None)
+                        g = peek()
+                        g_h = g if g is not None else inf
+                        gen = self._cache_gen
+                        continue
+                    legs = ff[1]
+                    index = 0
+                    wgen = gen
+                else:
+                    item = hpop(heap)
+                    if item[2] == 1:
+                        sim.now = t
+                        self._arrive(item[4], item[5], item[6])
+                        g = peek()   # callbacks may schedule events
+                        g_h = g if g is not None else inf
+                        gen = self._cache_gen
+                        continue
+                    legs, index, emission, wgen = item[3], item[4], \
+                        item[5], item[6]
+                    if wgen != gen:
+                        bound = source.head[0] \
+                            if source.head is not None else inf
+                        if heap and heap[0][0] < bound:
+                            bound = heap[0][0]
+                        if g_h < bound:
+                            bound = g_h
+                        self._replay_stale(legs, t, index,
+                                           bound if bound < inf
+                                           else None)
+                        g = peek()
+                        g_h = g if g is not None else inf
+                        gen = self._cache_gen
+                        continue
+            # ---- generic leg loop: replay inline, yielding to any
+            # earlier item (fast tier jumps here only after flushing
+            # its caches via the walk/slow branches above) ----
+            if nic_cached:
+                nic_cached = False
+                src_host.nic_busy_until = nic_busy
+                if ntx:
+                    src_host.tx_count += ntx
+                    ntx = 0
+            if cdev is not None:
+                cdev.port_busy_until[cport] = pbusy
+                if dbytes:
+                    cdev.bytes_forwarded += dbytes
+                    dbytes = 0
+                cdev = None
+            if cdvh is not None:
+                if crxc:
+                    cdvh.rx_count += crxc
+                    cdvh.rx_bytes += crxb
+                    crxc = 0
+                    crxb = 0
+                cdvh.last_rx_time = clast
+                cdvh = None
+            if ndeliv:
+                self.packets_delivered += ndeliv
+                ndeliv = 0
+            bound = source.head[0] if source.head is not None else inf
+            if heap and heap[0][0] < bound:
+                bound = heap[0][0]
+            if g_h < bound:
+                bound = g_h
+            while True:
+                leg = legs[index]
+                code = leg[0]
+                if code == "dv":
+                    host = leg[6]
+                    if host.rx_callbacks or t >= bound or t > stop:
+                        hpush(heap, (t, seq, 1, None, leg[5],
+                                     self._replay_out(legs, leg, emission),
+                                     leg[4]))
+                        seq += 1
+                        break
+                    sim.now = t
+                    if t > now_hi:
+                        now_hi = t
+                    self.packets_delivered += 1
+                    if metrics:
+                        child = m_children.get(leg[1])
+                        if child is None:
+                            child = self._m_delivered.labels(leg[1])
+                            m_children[leg[1]] = child
+                        child.inc()
+                    host.rx_count += 1
+                    host.rx_bytes += leg[4]
+                    host.last_rx_time = t
+                    first = legs[0]
+                    out = leg[3]
+                    host.received.append(
+                        (t, out if emission is first[6]
+                            and first[0] == "hw"
+                         else Packet.shell(list(out.headers),
+                                           out.payload_len,
+                                           emission.packet_id,
+                                           dict(emission.meta))))
+                    break
+                if code == "dr":
+                    self.packets_lost += 1
+                    break
+                if t >= bound or t > stop:
+                    hpush(heap, (t, seq, 0, legs, index, emission, wgen))
+                    seq += 1
+                    break
+                if code == "hw":
+                    host = leg[7]
+                    tx_time = leg[3]
+                    busy = host.nic_busy_until
+                    start = t if t > busy else busy
+                    queue_wait = start - t
+                    if queue_wait > maxq_b:
+                        host.nic_drops += 1
+                        self._drop(leg[1], leg[6], "queue_full", port=0,
+                                   queue_wait_s=queue_wait)
+                        break
+                    host.nic_busy_until = start + tx_time
+                    host.tx_count += 1
+                    t = (start + tx_time - t) + leg[4] + t
+                    index += 1
+                elif code == "sw":
+                    device = leg[7]
+                    port = leg[2]
+                    tx_time = leg[3]
+                    busy = device.port_busy_until.get(port, 0.0)
+                    start = t if t > busy else busy
+                    queue_wait = start - t
+                    if queue_wait > maxq_b:
+                        self._drop(leg[1], leg[6], "queue_full", port=port,
+                                   queue_wait_s=queue_wait)
+                        break
+                    device.port_busy_until[port] = start + tx_time
+                    device.bytes_forwarded += leg[5]
+                    t = (start + tx_time - t) + leg[4] + t
+                    index += 1
+                else:  # "fw"
+                    t = t + leg[3]
+                    index += 1
+        # ---- drain exit: flush caches, hand leftovers back ----------
+        if nic_cached:
+            src_host.nic_busy_until = nic_busy
+            if ntx:
+                src_host.tx_count += ntx
+        if cdev is not None:
+            cdev.port_busy_until[cport] = pbusy
+            if dbytes:
+                cdev.bytes_forwarded += dbytes
+        if cdvh is not None:
+            if crxc:
+                cdvh.rx_count += crxc
+                cdvh.rx_bytes += crxb
+            cdvh.last_rx_time = clast
+        if ndeliv:
+            self.packets_delivered += ndeliv
+        schedule_at = sim.schedule_at
+        while heap:
+            # The global queue intrudes: hand everything back as
+            # ordinary continuation events (heap order preserves the
+            # (time, seq) execution order) and bow out.
+            item = hpop(heap)
+            it = item[0]
+            if item[2] == 0:
+                schedule_at(
+                    it,
+                    lambda i=item, tt=it: self._replay_resume(
+                        i[3], i[5], tt, i[4], i[6]))
+            else:
+                schedule_at(
+                    it,
+                    lambda i=item: self._arrive(i[4], i[5], i[6]))
+        head = source.head
+        if head is not None:
+            schedule_at(head[0], lambda: self._pump(source))
+        if now_hi > sim.now:
+            if sim.pending:
+                schedule_at(now_hi, _noop)
+            else:
+                sim.now = now_hi
+
+    def _walk_burst(self, host_name: str,
+                    burst: List[Tuple[float, Packet]],
+                    cap: Optional[float]) -> None:
+        """Push a burst of same-host emissions through the fabric one
+        stage at a time (struct-of-arrays transit state), invoking each
+        switch's ``process_batch`` once per stage.
+
+        Used when the fabric is stateful (no flow cache).  The burst
+        stays lockstep only while every member takes the same switch
+        sequence with no revisits — per-switch pipeline order then
+        equals arrival order, exactly as in event mode, because FIFO
+        ports never reorder a shared path.  Members that would split
+        off (ECMP spread, loops) or cross the horizon leave the burst
+        as ordinary scheduler events.
+        """
+        sim = self.sim
+        maxq = self.max_queue_delay_s
+        until = sim.run_until
+        link, src = self._host_uplink(host_name)
+        host = self.hosts[host_name]
+        bandwidth = link.bandwidth_bps
+        latency = link.latency_s
+        entry = link.other(src)
+        # Stage state (struct-of-arrays): parallel arrival times,
+        # packets, and ingress ports, plus the switch they share.
+        times: List[float] = []
+        packets: List[Packet] = []
+        ports: List[int] = []
+        for t, packet in burst:
+            # Host NIC leg; burst emissions are horizon-checked by the
+            # pump, so every member is admissible here.
+            sim.now = t
+            tx_time = packet.length * 8 / bandwidth
+            start = max(t, host.nic_busy_until)
+            queue_wait = start - t
+            if maxq is not None and queue_wait > maxq:
+                host.nic_drops += 1
+                self._drop(host_name, packet, "queue_full", port=0,
+                           queue_wait_s=queue_wait)
+                continue
+            host.nic_busy_until = start + tx_time
+            host.tx_count += 1
+            if self.serialize_on_wire:
+                packet = self._wire_roundtrip(packet)
+            arrival = (start + tx_time - t) + latency + t
+            times.append(arrival)
+            packets.append(packet)
+            ports.append(entry.port)
+        node = entry.node
+        visited = {node}
+        while times:
+            horizon = self._horizon(cap)
+            device = self.switches[node]
+            proc = device.processing_delay_s
+            items: List[Tuple[Packet, int]] = []
+            fwd_times: List[float] = []
+            for i, arrival in enumerate(times):
+                t_fwd = arrival + proc
+                if ((horizon is not None and t_fwd >= horizon)
+                        or (until is not None and t_fwd > until)):
+                    self._defer_walk("fw", node, ports[i], packets[i],
+                                     t_fwd)
+                    continue
+                items.append((packets[i], ports[i]))
+                fwd_times.append(t_fwd)
+            if not items:
+                return
+            results = device.bmv2.process_batch(items)
+            onward: List[Tuple[float, Packet, int, str]] = []
+            for t_fwd, outputs in zip(fwd_times, results):
+                sim.now = t_fwd
+                horizon = self._horizon(cap)
+                if not outputs:
+                    self.packets_lost += 1
+                    continue
+                if len(outputs) > 1:
+                    for egress_port, out_packet in outputs:
+                        self._defer_walk("wire", node, egress_port,
+                                         out_packet, t_fwd)
+                    continue
+                egress_port, out_packet = outputs[0]
+                out_link = self.topology.link_at(node, egress_port)
+                if out_link is None:
+                    self._drop(node, out_packet, "no_route",
+                               port=egress_port)
+                    continue
+                if ((horizon is not None and t_fwd >= horizon)
+                        or (until is not None and t_fwd > until)):
+                    self._defer_walk("wire", node, egress_port, out_packet,
+                                     t_fwd)
+                    continue
+                tx_time = out_packet.length * 8 / out_link.bandwidth_bps
+                start = max(t_fwd,
+                            device.port_busy_until.get(egress_port, 0.0))
+                queue_wait = start - t_fwd
+                if maxq is not None and queue_wait > maxq:
+                    self._drop(node, out_packet, "queue_full",
+                               port=egress_port, queue_wait_s=queue_wait)
+                    continue
+                device.port_busy_until[egress_port] = start + tx_time
+                device.bytes_forwarded += out_packet.length
+                if self.serialize_on_wire:
+                    out_packet = self._wire_roundtrip(out_packet)
+                arrival = ((start + tx_time - t_fwd)
+                           + out_link.latency_s + t_fwd)
+                dst = out_link.other(Endpoint(node, egress_port))
+                if dst.node in self.hosts:
+                    # Deliveries go through the queue so arrival-time
+                    # order is preserved across burst members whose
+                    # transit times inverted their emission order.
+                    end = dst
+                    pkt = out_packet
+                    sim.schedule_at(arrival,
+                                    lambda e=end, p=pkt: self._arrive(e, p))
+                    continue
+                onward.append((arrival, out_packet, dst.port, dst.node))
+            if not onward:
+                return
+            onward.sort(key=lambda item: item[0])
+            head = onward[0][3]
+            if head in visited or any(item[3] != head for item in onward):
+                # Split paths or a forwarding loop: lockstep order is no
+                # longer provably the event order — hand every member to
+                # the scheduler at its arrival time.
+                for arrival, out_packet, port, nxt in onward:
+                    end = Endpoint(nxt, port)
+                    sim.schedule_at(
+                        arrival,
+                        lambda e=end, p=out_packet: self._arrive(e, p))
+                return
+            visited.add(head)
+            times = [item[0] for item in onward]
+            packets = [item[1] for item in onward]
+            ports = [item[2] for item in onward]
+            node = head
+
     # -- conveniences -----------------------------------------------------------------
 
     def host(self, name: str) -> Host:
@@ -320,4 +1578,5 @@ class Network:
     def run(self, until: Optional[float] = None) -> None:
         self.sim.run(until)
         if self._metrics:
-            self._g_simtime.labels().set(self.sim.now)
+            self._g_simtime.labels(
+            ).set(self.sim.now)

@@ -256,6 +256,10 @@ class Bmv2Switch:
             for name, table in program.tables.items()
         }
         self.digest_listeners: List[Callable[[DigestMessage], None]] = []
+        # Control-plane change listeners: invoked after any table or
+        # register mutation through this API (the batched network uses
+        # this to flush cached transit records).
+        self.config_listeners: List[Callable[[str], None]] = []
         self.digests = BoundedLog(digest_capacity,
                                   on_evict=self._on_digest_evict)
         # Statistics for the evaluation harness.
@@ -354,6 +358,7 @@ class Bmv2Switch:
         self.entries[table_name].append(entry)
         if self._fast is not None:
             self._fast.invalidate_table(table_name)
+        self._notify_config(table_name)
         return entry
 
     def delete_entry(self, table_name: str, entry: ir.TableEntry) -> None:
@@ -364,12 +369,14 @@ class Bmv2Switch:
             raise P4RuntimeError("entry not installed") from exc
         if self._fast is not None:
             self._fast.invalidate_table(table_name)
+        self._notify_config(table_name)
 
     def clear_table(self, table_name: str) -> None:
         self._table(table_name)
         self.entries[table_name].clear()
         if self._fast is not None:
             self._fast.invalidate_table(table_name)
+        self._notify_config(table_name)
 
     def set_default_action(self, table_name: str, action: str,
                            args: Optional[List[int]] = None) -> None:
@@ -389,6 +396,7 @@ class Bmv2Switch:
         notify = getattr(self._fast, "on_default_change", None)
         if notify is not None:
             notify(table_name)
+        self._notify_config(table_name)
 
     # Control-plane register access validates its operands and raises
     # :class:`P4RuntimeError` on a bad name or out-of-range index.  The
@@ -415,9 +423,20 @@ class Bmv2Switch:
         values = self._register_cells(name, index)
         width = self._register_width[name]
         values[index] = int(value) & ((1 << width) - 1)
+        self._notify_config(name)
 
     def on_digest(self, listener: Callable[[DigestMessage], None]) -> None:
         self.digest_listeners.append(listener)
+
+    def on_config_change(self, listener: Callable[[str], None]) -> None:
+        """Register a callback fired after every control-plane mutation
+        (table entry insert/delete/clear, default-action change,
+        register write) with the mutated table/register name."""
+        self.config_listeners.append(listener)
+
+    def _notify_config(self, name: str) -> None:
+        for listener in self.config_listeners:
+            listener(name)
 
     def _table(self, name: str) -> ir.Table:
         if name not in self.program.tables:

@@ -63,7 +63,8 @@ class HydraDeployment:
                  serialize_on_wire: bool = False,
                  engine: str = "fast",
                  obs: Optional[Observability] = None,
-                 max_queue_delay_s: Optional[float] = None):
+                 max_queue_delay_s: Optional[float] = None,
+                 batched: bool = False):
         self.topology = topology
         self.check_mode = check_mode
         self.obs = obs if obs is not None else NULL_OBS
@@ -102,7 +103,8 @@ class HydraDeployment:
                                    stage_counts=stage_counts,
                                    serialize_on_wire=serialize_on_wire,
                                    obs=self.obs,
-                                   max_queue_delay_s=max_queue_delay_s)
+                                   max_queue_delay_s=max_queue_delay_s,
+                                   batched=batched)
 
     @property
     def compiled(self) -> CompiledChecker:

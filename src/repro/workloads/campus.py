@@ -6,13 +6,22 @@ flow-structured, heavy-tailed packet stream with an IMIX-like size
 distribution, deterministic under a seed, which the throughput
 microbenchmark replays toward leaf1 exactly as the paper replays the
 mirrored trace.
+
+Generation is fully lazy: :meth:`CampusTraceGenerator.timed_packets`
+draws packets one at a time for as long as the exponential arrival
+clock stays inside ``duration_s``, so paper-rate traces (hundreds of
+thousands of packets per simulated second) are never materialized and
+an unlucky inter-arrival tail can never exhaust a pre-sized stream
+early (which used to silently under-offer load).
 """
 
 from __future__ import annotations
 
 import random
+from bisect import bisect_right
 from dataclasses import dataclass, field
-from typing import Iterator, List, Tuple
+from itertools import accumulate
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..net.packet import (IP_PROTO_TCP, IP_PROTO_UDP, Packet, ip, make_tcp,
                           make_udp)
@@ -24,6 +33,13 @@ CAMPUS_SUBNET_B = ip(140, 180, 0, 0)   # /16
 # IMIX-ish packet sizes and weights.
 _PACKET_SIZES = (64, 576, 1500)
 _SIZE_WEIGHTS = (0.55, 0.25, 0.20)
+# Pre-accumulated weights so the hot path can use bisect directly; the
+# expressions mirror random.choices (cum_weights via accumulate, then
+# bisect(cum, random() * (cum[-1] + 0.0), 0, n - 1)) so the draws are
+# bit-identical to the historical rng.choices call for any seed.
+_SIZE_CUM = tuple(accumulate(_SIZE_WEIGHTS))
+_SIZE_TOTAL = _SIZE_CUM[-1] + 0.0
+_SIZE_HI = len(_PACKET_SIZES) - 1
 
 
 @dataclass
@@ -53,13 +69,23 @@ class CampusTraceGenerator:
     Flow sizes follow a bounded Pareto (heavy tail); 80% of flows are
     TCP.  Sources come from the two campus /16s, destinations from a
     synthetic "rest of the Internet" pool.
+
+    With ``reuse_packets=True`` the generator hands out one shared
+    :class:`Packet` template per (flow, size) pair instead of building
+    a fresh packet each draw — the RNG sequence (and therefore the
+    trace) is unchanged, but consumers must treat packets as immutable
+    templates (the batched replay path does; it never mutates its
+    inputs).
     """
 
     def __init__(self, seed: int = 2023, mean_flow_packets: float = 12.0,
-                 max_flow_packets: int = 10_000):
+                 max_flow_packets: int = 10_000,
+                 reuse_packets: bool = False):
         self.rng = random.Random(seed)
         self.mean_flow_packets = mean_flow_packets
         self.max_flow_packets = max_flow_packets
+        self.reuse_packets = reuse_packets
+        self._templates: Dict[tuple, Packet] = {}
         self.stats = TraceStats()
 
     def _new_flow(self) -> Flow:
@@ -77,32 +103,54 @@ class CampusTraceGenerator:
         return Flow(src, dst, sport, dport, proto, size)
 
     def _packet_for(self, flow: Flow) -> Packet:
-        rng = self.rng
-        size = rng.choices(_PACKET_SIZES, weights=_SIZE_WEIGHTS, k=1)[0]
+        size = _PACKET_SIZES[bisect_right(
+            _SIZE_CUM, self.rng.random() * _SIZE_TOTAL, 0, _SIZE_HI)]
+        if self.reuse_packets:
+            key = (flow.src, flow.dst, flow.sport, flow.dport, flow.proto,
+                   size)
+            entry = self._templates.get(key)
+            if entry is None:
+                packet = self._build_packet(flow, size)
+                self._templates[key] = (packet, packet.length)
+                return packet
+            packet, length = entry
+            self._count_packet(flow, length)
+            return packet
+        return self._build_packet(flow, size)
+
+    def _build_packet(self, flow: Flow, size: int) -> Packet:
         payload = max(0, size - 54)
         if flow.proto == IP_PROTO_TCP:
             packet = make_tcp(flow.src, flow.dst, flow.sport, flow.dport,
                               payload_len=payload)
-            self.stats.tcp_packets += 1
         else:
             packet = make_udp(flow.src, flow.dst, flow.sport, flow.dport,
                               payload_len=payload)
-            self.stats.udp_packets += 1
         packet.meta["flow_id"] = (flow.src, flow.dst, flow.sport,
                                   flow.dport, flow.proto)
-        self.stats.packets += 1
-        self.stats.bytes += packet.length
+        self._count_packet(flow, packet.length)
         return packet
 
-    def packets(self, count: int,
+    def _count_packet(self, flow: Flow, length: int) -> None:
+        if flow.proto == IP_PROTO_TCP:
+            self.stats.tcp_packets += 1
+        else:
+            self.stats.udp_packets += 1
+        self.stats.packets += 1
+        self.stats.bytes += length
+
+    def packets(self, count: Optional[int] = None,
                 concurrent_flows: int = 64) -> Iterator[Packet]:
-        """Yield ``count`` packets, interleaving concurrent flows."""
+        """Yield ``count`` packets (unbounded when ``count=None``),
+        interleaving concurrent flows."""
         active: List[Flow] = [self._new_flow()
                               for _ in range(concurrent_flows)]
-        for _ in range(count):
+        produced = 0
+        while count is None or produced < count:
             index = self.rng.randrange(len(active))
             flow = active[index]
             yield self._packet_for(flow)
+            produced += 1
             flow.remaining -= 1
             if flow.remaining <= 0:
                 active[index] = self._new_flow()
@@ -111,10 +159,14 @@ class CampusTraceGenerator:
                       concurrent_flows: int = 64
                       ) -> Iterator[Tuple[float, Packet]]:
         """(timestamp, packet) pairs with exponential inter-arrivals at
-        an average of ``rate_pps`` packets per second."""
+        an average of ``rate_pps`` packets per second.
+
+        The underlying packet stream is unbounded, so the emitted trace
+        always covers the full ``duration_s`` no matter how the
+        inter-arrival draws fall.
+        """
         now = 0.0
-        stream = self.packets(int(rate_pps * duration_s * 2) + 1,
-                              concurrent_flows)
+        stream = self.packets(None, concurrent_flows)
         for packet in stream:
             now += self.rng.expovariate(rate_pps)
             if now > duration_s:

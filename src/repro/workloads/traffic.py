@@ -68,6 +68,47 @@ class UdpLoadGenerator:
         self.packets_sent = count
         return count
 
+    def attach(self, duration_s: float) -> None:
+        """Attach the same load lazily via ``Network.attach_source``.
+
+        Emission times and packet sizes are drawn exactly as in
+        :meth:`schedule` (one RNG stream per direction, in the same
+        direction order), but each direction reuses one template packet
+        per emission instead of building a fresh one, and nothing is
+        materialized ahead of time — suitable for paper-rate loads.
+        ``packets_sent`` counts emissions as they are offered.
+        """
+        a = self.network.topology.hosts[self.host_a]
+        b = self.network.topology.hosts[self.host_b]
+        gap = (self.packet_len * 8) / self.rate_bps
+        for src, dst in ((a, b), (b, a)):
+            src_host = self.host_a if src is a else self.host_b
+            sport = self.rng.randrange(30000, 60000)
+            # Per-direction RNG forked deterministically from the shared
+            # stream so the two lazy directions cannot interleave draws.
+            rng = random.Random(self.rng.randrange(1 << 30))
+            template = make_udp(src.ipv4, dst.ipv4, sport, LOAD_PORT,
+                                payload_len=self.packet_len)
+
+            def emissions(rng: random.Random = rng,
+                          template: Packet = template):
+                now = 0.0
+                while True:
+                    if self.jitter:
+                        burst = rng.randint(1, self.burst_size)
+                        delta = rng.expovariate(1.0 / (gap * burst))
+                    else:
+                        burst = 1
+                        delta = gap
+                    now += delta
+                    if now > duration_s:
+                        return
+                    for _ in range(burst):
+                        self.packets_sent += 1
+                        yield now, template
+
+            self.network.attach_source(src_host, emissions())
+
 
 @dataclass
 class RttSample:
