@@ -1,0 +1,63 @@
+"""Aether soak smoke for CI: a scaled-down (but still 50K-session)
+soak with churn and traffic, plus the determinism contract — the
+deterministic counters of a serial run and a 2-worker sharded run must
+be identical, because every per-session decision is a pure function of
+the UE index.
+
+Usage: ``PYTHONPATH=src python benchmarks/aether_smoke.py``
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments.aetherbench import format_aether_bench, run_soak
+
+SESSIONS = 50_000
+
+
+def main() -> int:
+    config = dict(sessions=SESSIONS, engine="codegen", batched=True,
+                  batch_size=10_000, churn_every=10, replay_ues=500,
+                  replay_repeats=5, flatness=False)
+    print(f"aether smoke: {SESSIONS:,} sessions, serial...")
+    serial = run_soak(**config, workers=1)
+    print(format_aether_bench(serial))
+    print(f"aether smoke: {SESSIONS:,} sessions, 2 workers...")
+    sharded = run_soak(**config, workers=2)
+    print(format_aether_bench(sharded))
+
+    failures = []
+    if serial["sessions"]["attached_peak"] != SESSIONS:
+        failures.append(
+            f"serial run attached {serial['sessions']['attached_peak']} "
+            f"of {SESSIONS} sessions")
+    if serial["churn"]["detached"] == 0:
+        failures.append("churn phase detached nothing")
+    replay = serial["replay"]
+    if replay["delivered"] != replay["expected"]:
+        failures.append(
+            f"replay delivered {replay['delivered']} != expected "
+            f"{replay['expected']}")
+    if replay["reports"] != 0:
+        failures.append(
+            f"checker raised {replay['reports']} report(s) on allowed "
+            "traffic")
+    if serial["deterministic"] != sharded["deterministic"]:
+        failures.append(
+            "serial vs 2-worker deterministic counters diverged:\n"
+            f"  serial:  {serial['deterministic']}\n"
+            f"  sharded: {sharded['deterministic']}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print(f"aether smoke OK: {SESSIONS:,} sessions, "
+          f"{serial['churn']['detached']:,} churned, "
+          f"{replay['delivered']:,} packets delivered, 0 reports, "
+          "serial == 2-worker counters")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

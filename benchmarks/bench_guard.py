@@ -28,8 +28,17 @@ arrival time.  ``--net-floor-pps`` optionally also enforces an absolute
 batched rate (off by default: CI machines are too variable for the
 paper's 350K pps target, which ``python -m repro bench --net`` checks).
 
+A fourth mode, ``--aether``, guards the control-plane scale path: a
+scaled-down Aether soak (bulk attach, churn, traffic with checkers
+live) must clear modest attach/s and replay-pps floors, raise zero
+Hydra reports on allowed traffic, and keep per-packet cost flat
+between the small-baseline probe and the full session count (the O(1)
+checker-state claim).  Floors are deliberately conservative — CI
+machines are too variable for the committed BENCH_aether.json numbers,
+which ``python -m repro aether`` reproduces.
+
 Usage: ``PYTHONPATH=src python benchmarks/bench_guard.py
-[--codegen | --net]``
+[--codegen | --net | --aether]``
 """
 
 from __future__ import annotations
@@ -117,6 +126,41 @@ def guard_net(rate_pps: float, duration_s: float,
     return 0 if ok else 1
 
 
+def guard_aether(sessions: int, attach_floor: float, pps_floor: float,
+                 tolerance: float) -> int:
+    """The control-plane scale guard: bulk attach rate, replay pps,
+    zero reports on allowed traffic, and per-packet cost flatness."""
+    from repro.experiments.aetherbench import (
+        FLATNESS_BASELINE_SESSIONS, run_soak)
+
+    # Baseline at the standard 10^4 probe point (the flatness claim is
+    # 10^4 -> 10^6); much smaller baselines fit whole tables in cache
+    # and overstate the ratio.
+    baseline = max(1000, min(FLATNESS_BASELINE_SESSIONS, sessions // 2))
+    result = run_soak(sessions=sessions, engine="codegen", batched=True,
+                      workers=1, flatness=True,
+                      baseline_sessions=baseline)
+    attach_per_s = result["attach"]["per_s"]
+    replay_pps = result["replay"]["pps"]
+    reports = result["replay"]["reports"]
+    flat = result["flatness"]
+    ratio = flat["ratio"]
+    floor = 1.0 + tolerance
+    ok = (attach_per_s >= attach_floor and replay_pps >= pps_floor
+          and reports == 0 and ratio is not None and ratio <= floor)
+    verdict = "OK" if ok else "REGRESSION"
+    print(f"bench guard (aether): {sessions:,} sessions, "
+          f"attach {attach_per_s:,.0f}/s (floor {attach_floor:,.0f}), "
+          f"replay {replay_pps:,.0f} pps (floor {pps_floor:,.0f}), "
+          f"reports {reports}, per-pkt ratio {ratio:.3f} "
+          f"(ceiling {floor:.2f}) -> {verdict}")
+    if not ok:
+        print("the Aether control-plane scale path regressed; see "
+              "docs/INTERNALS.md (Aether at scale)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--packets", type=int, default=5000)
@@ -139,8 +183,26 @@ def main(argv=None) -> int:
     parser.add_argument("--net-floor-pps", type=float, default=0.0,
                         help="[--net] also require this absolute batched "
                              "rate (default 0 = relative check only)")
+    parser.add_argument("--aether", action="store_true",
+                        help="guard the control-plane scale path "
+                             "instead: a scaled-down Aether soak must "
+                             "clear attach/s and replay-pps floors with "
+                             "flat per-packet cost and zero reports")
+    parser.add_argument("--aether-sessions", type=int, default=20_000,
+                        help="[--aether] soak size (default 20000)")
+    parser.add_argument("--aether-attach-floor", type=float,
+                        default=2_000.0,
+                        help="[--aether] minimum bulk attach/s "
+                             "(default 2000)")
+    parser.add_argument("--aether-pps-floor", type=float, default=1_000.0,
+                        help="[--aether] minimum replay pps "
+                             "(default 1000)")
     args = parser.parse_args(argv)
 
+    if args.aether:
+        return guard_aether(args.aether_sessions,
+                            args.aether_attach_floor,
+                            args.aether_pps_floor, args.tolerance)
     if args.net:
         return guard_net(args.net_rate, args.net_duration,
                          args.net_floor_pps)

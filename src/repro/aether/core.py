@@ -7,16 +7,24 @@ up the slice configuration *at that moment* and ships a per-client copy
 of the rules to the controller, plus (when a Hydra deployment is
 present) to the Hydra control application that maintains the
 ``filtering_actions`` dictionary of the Figure 9 checker.
+
+The bulk paths (:meth:`MobileCore.attach_many` /
+:meth:`MobileCore.detach_many`) carry the same semantics as a loop of
+single calls but batch the table programming per switch, which is what
+makes million-subscriber churn tractable: one bulk control-plane call
+per (switch, table) per batch instead of one index invalidation per
+rule row.
 """
 
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..net.topology import EDGE
+from ..p4 import ir
 from ..runtime.deployment import HydraDeployment
-from .onos import ClientRecord, OnosController
+from .onos import AttachSpec, ClientRecord, OnosController
 from .portal import DENY, FilterRule, OperatorPortal
 
 DENY_ACTION = 1
@@ -30,37 +38,82 @@ class HydraControlApp:
 
     Key layout matches Figure 9: (ue_ipv4_addr, app_ip_proto,
     app_ipv4_addr, app_l4_port) -> 1=deny / 2=allow.
+
+    The app owns the rows it installs: per-UE entry handles are kept so
+    detach removes exactly that UE's rows without scanning the table.
+    ``edge_only=True`` (the scaled deployments) installs rows only on
+    edge switches — the checker evaluates at the last hop, which is
+    always an edge, so spine copies of the dictionary are dead weight.
     """
 
-    def __init__(self, deployment: HydraDeployment):
+    def __init__(self, deployment: HydraDeployment,
+                 edge_only: bool = False):
         self.deployment = deployment
+        self.edge_only = edge_only
+        compiled, decl = deployment._resolve_control("filtering_actions")
+        self._tables = list(compiled.control_tables[decl.name])
+        self._hit_actions = {table: compiled.dict_hit_action(decl.name,
+                                                             table)
+                             for table in self._tables}
+        names = [name for name, spec in deployment.topology.switches.items()
+                 if not edge_only or spec.role == EDGE]
+        self._switches = [(name, deployment.switches[name])
+                          for name in names]
+        self._installed: Dict[int, List[Tuple[str, str,
+                                              ir.TableEntry]]] = {}
 
     def on_attach(self, ue_ip: int, rules: List[FilterRule]) -> None:
-        for rule in rules:
-            value = DENY_ACTION if rule.action == DENY else ALLOW_ACTION
-            self.deployment.dict_put_ranges(
-                "filtering_actions",
-                [
+        self.on_attach_many([(ue_ip, rules)])
+
+    def on_attach_many(self,
+                       items: Sequence[Tuple[int, List[FilterRule]]]
+                       ) -> None:
+        """Mirror a batch of clients' rules into ``filtering_actions``,
+        one bulk insert per (switch, table)."""
+        refresh = [ue_ip for ue_ip, _ in items if ue_ip in self._installed]
+        if refresh:
+            # Replace semantics, as dict_put_ranges had: a re-attach of
+            # a live UE address supersedes its previous rows.
+            self.on_detach_many(refresh)
+        rows: List[Tuple[list, List[int], int]] = []
+        owners: List[int] = []
+        for ue_ip, rules in items:
+            self._installed.setdefault(ue_ip, [])
+            for rule in rules:
+                value = DENY_ACTION if rule.action == DENY else ALLOW_ACTION
+                match = [
                     (ue_ip, ue_ip),
                     rule.proto_range(),
                     rule.addr_range(),
                     tuple(rule.l4_port),
-                ],
-                value,
-                priority=rule.priority,
-            )
+                ]
+                rows.append((match, [value], rule.priority))
+                owners.append(ue_ip)
+        for name, bmv2 in self._switches:
+            for table in self._tables:
+                action = self._hit_actions[table]
+                # match lists are shared across switches (entries are
+                # distinguished by identity, and match specs are never
+                # mutated after install) — halves row memory.
+                created = bmv2.insert_entries(
+                    table, [(match, action, args, priority)
+                            for match, args, priority in rows])
+                installed = self._installed
+                for ue_ip, entry in zip(owners, created):
+                    installed[ue_ip].append((name, table, entry))
 
     def on_detach(self, ue_ip: int) -> None:
-        """Remove the client's filtering_actions entries (all entries
-        whose UE component is exactly this address)."""
-        compiled, decl = self.deployment._resolve_control(
-            "filtering_actions")
-        for bmv2 in self.deployment.switches.values():
-            for table in compiled.control_tables[decl.name]:
-                stale = [e for e in bmv2.entries[table]
-                         if e.match and e.match[0] == (ue_ip, ue_ip)]
-                for entry in stale:
-                    bmv2.delete_entry(table, entry)
+        """Remove the client's filtering_actions entries."""
+        self.on_detach_many([ue_ip])
+
+    def on_detach_many(self, ue_ips: Sequence[int]) -> None:
+        grouped: Dict[Tuple[str, str], List[ir.TableEntry]] = {}
+        for ue_ip in ue_ips:
+            for name, table, entry in self._installed.pop(ue_ip, ()):
+                grouped.setdefault((name, table), []).append(entry)
+        switches = dict(self._switches)
+        for (name, table), entries in grouped.items():
+            switches[name].delete_entries(table, entries)
 
 
 class MobileCore:
@@ -80,28 +133,53 @@ class MobileCore:
         Allocates GTP TEIDs, snapshots the slice's *current* rules, and
         pushes per-client state to ONOS and to the Hydra control app.
         """
-        slice_name = self.portal.slice_of(imsi)
-        if slice_name is None:
-            raise ValueError(f"IMSI {imsi} is not provisioned in any slice")
-        rules = self.portal.rules_for(imsi)
-        uplink_teid = next(self._teids)
-        downlink_teid = uplink_teid + 1000
-        record = self.onos.handle_attach(
-            imsi=imsi, slice_name=slice_name, ue_ip=ue_ip,
-            uplink_teid=uplink_teid, downlink_teid=downlink_teid,
-            rules=rules,
-        )
+        return self.attach_many([(imsi, ue_ip)])[0]
+
+    def attach_many(self,
+                    requests: Sequence[Tuple[str, int]]
+                    ) -> List[ClientRecord]:
+        """Handle a batch of attach requests (bulk PFCP-style churn).
+
+        Semantically a loop of :meth:`attach`; the table programming is
+        batched per switch so the fabric absorbs the whole batch with
+        one control-plane operation per table.
+        """
+        specs: List[AttachSpec] = []
+        for imsi, ue_ip in requests:
+            slice_name = self.portal.slice_of(imsi)
+            if slice_name is None:
+                raise ValueError(
+                    f"IMSI {imsi} is not provisioned in any slice")
+            rules = self.portal.rules_for(imsi)
+            uplink_teid = next(self._teids)
+            downlink_teid = uplink_teid + 1000
+            specs.append(AttachSpec(
+                imsi=imsi, slice_name=slice_name, ue_ip=ue_ip,
+                uplink_teid=uplink_teid, downlink_teid=downlink_teid,
+                rules=tuple(rules)))
+        records = self.onos.handle_attach_many(specs)
         if self.hydra_app is not None:
-            self.hydra_app.on_attach(ue_ip, rules)
-        self.attachments[imsi] = record
-        return record
+            self.hydra_app.on_attach_many(
+                [(spec.ue_ip, list(spec.rules)) for spec in specs])
+        for record in records:
+            self.attachments[record.imsi] = record
+        return records
 
     def detach(self, imsi: str) -> None:
         """Handle a client detach: tear down its user-plane state and
         the Hydra control entries mirroring its rules."""
-        record = self.attachments.pop(imsi, None)
-        if record is None:
-            raise ValueError(f"IMSI {imsi} is not attached")
-        self.onos.handle_detach(imsi)
+        self.detach_many([imsi])
+
+    def detach_many(self, imsis: Sequence[str]) -> None:
+        """Handle a batch of detach requests; deletions are batched per
+        (switch, table)."""
+        records = []
+        for imsi in imsis:
+            record = self.attachments.pop(imsi, None)
+            if record is None:
+                raise ValueError(f"IMSI {imsi} is not attached")
+            records.append(record)
+        self.onos.handle_detach_many(imsis)
         if self.hydra_app is not None:
-            self.hydra_app.on_detach(record.ue_ip)
+            self.hydra_app.on_detach_many(
+                [record.ue_ip for record in records])

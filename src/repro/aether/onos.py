@@ -15,14 +15,32 @@ Packets from previously attached clients now classify to the new app id,
 for which they have no Terminations entry — and the default action of
 Terminations is drop.  Traffic that the policy allows is silently
 discarded, exactly the behaviour Hydra's checker reports.
+
+Scaling notes (the million-subscriber path):
+
+* Every per-client table row installed at attach time is remembered as
+  ``(switch, table, entry)`` handles on the :class:`ClientRecord`, so
+  detach deletes exactly those rows — O(own rows), never a scan over
+  every subscriber's entries.
+* Shared Applications entries are reference-counted per app id and
+  released only when the *last* referencing subscriber detaches (the
+  interned pattern is forgotten with them, so a later attach
+  re-installs cleanly).
+* :meth:`handle_attach_many` / :meth:`handle_detach_many` batch table
+  inserts and deletes per switch — one bulk control-plane call per
+  table instead of one index invalidation per row — which is what keeps
+  PFCP-style churn amortized over the execution engines' incremental
+  table indexes.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..p4 import ir
 from ..p4.bmv2 import Bmv2Switch
+from .capacity import AetherCapacity, CapacityError, MAX_APP_IDS
 from .portal import ALLOW, FilterRule
 
 # Application-id 0 is "unknown" (table miss); allocation starts at 1.
@@ -42,18 +60,43 @@ class ClientRecord:
     uplink_teid: int
     downlink_teid: int
     app_ids: List[int] = field(default_factory=list)
+    # Handles to every table row installed for this client:
+    # (switch name, table name, entry).  Detach deletes these and only
+    # these — no scan over other subscribers' entries.
+    entries: List[Tuple[str, str, ir.TableEntry]] = \
+        field(default_factory=list, repr=False)
+
+
+@dataclass(frozen=True)
+class AttachSpec:
+    """One client's attach request, as delivered over PFCP."""
+
+    imsi: str
+    slice_name: str
+    ue_ip: int
+    uplink_teid: int
+    downlink_teid: int
+    rules: Tuple[FilterRule, ...]
 
 
 class OnosController:
     """Installs and maintains UPF table entries on the fabric."""
 
-    def __init__(self, upf_switches: Dict[str, Bmv2Switch]):
+    def __init__(self, upf_switches: Dict[str, Bmv2Switch],
+                 capacity: Optional[AetherCapacity] = None):
         self.upf_switches = dict(upf_switches)
+        self.capacity = capacity
         self._app_ids: Dict[AppKey, int] = {}
         self._next_app_id = _FIRST_APP_ID
         self._next_client_id = 1
         self._slice_ids: Dict[str, int] = {}
         self.clients: Dict[str, ClientRecord] = {}
+        # Shared-entry bookkeeping: per app id, how many attached
+        # subscribers reference it, the interned pattern it came from,
+        # and its per-switch Applications entry handles.
+        self._app_refs: Dict[int, int] = {}
+        self._app_key_of: Dict[int, AppKey] = {}
+        self._app_entries: Dict[int, List[Tuple[str, ir.TableEntry]]] = {}
 
     def slice_id(self, slice_name: str) -> int:
         """Numeric id for a slice (allocated on first use)."""
@@ -76,15 +119,44 @@ class OnosController:
         if existing is not None:
             return existing
         app_id = self._next_app_id
+        if app_id > MAX_APP_IDS:
+            raise CapacityError(
+                f"app-id space exhausted ({MAX_APP_IDS} distinct "
+                "rule patterns; app_id is an 8-bit field)")
         self._next_app_id += 1
         self._app_ids[key] = app_id
+        self._app_key_of[app_id] = key
+        self._app_refs[app_id] = 0
         sid = self.slice_id(slice_name)
         match = [(sid, sid), rule.addr_range(), tuple(rule.l4_port),
                  rule.proto_range()]
-        for bmv2 in self.upf_switches.values():
-            bmv2.insert_entry("applications", match, "set_app_id", [app_id],
-                              priority=rule.priority)
+        handles: List[Tuple[str, ir.TableEntry]] = []
+        for name, bmv2 in self.upf_switches.items():
+            entry = bmv2.insert_entry("applications", match, "set_app_id",
+                                      [app_id], priority=rule.priority)
+            handles.append((name, entry))
+        self._app_entries[app_id] = handles
         return app_id
+
+    def _release_app_ids(self, app_ids: Iterable[int]) -> None:
+        """Drop one subscriber reference per distinct app id; an id
+        whose last reference goes away has its shared Applications
+        entries uninstalled and its interned pattern forgotten."""
+        for app_id in set(app_ids):
+            remaining = self._app_refs.get(app_id)
+            if remaining is None:
+                continue
+            remaining -= 1
+            if remaining > 0:
+                self._app_refs[app_id] = remaining
+                continue
+            del self._app_refs[app_id]
+            key = self._app_key_of.pop(app_id, None)
+            if key is not None:
+                self._app_ids.pop(key, None)
+            for switch_name, entry in self._app_entries.pop(app_id, ()):
+                self.upf_switches[switch_name].delete_entry(
+                    "applications", entry)
 
     # -- attach handling (per-client PFCP-style rule delivery) ----------------
 
@@ -96,58 +168,120 @@ class OnosController:
         ``rules`` is the per-client copy of the slice's filtering rules,
         as delivered over the PFCP-style interface at attach time.
         """
-        if imsi in self.clients:
-            raise ValueError(f"IMSI {imsi} is already attached")
-        client_id = self._next_client_id
-        self._next_client_id += 1
-        record = ClientRecord(client_id=client_id, imsi=imsi,
-                              slice_name=slice_name, ue_ip=ue_ip,
-                              uplink_teid=uplink_teid,
-                              downlink_teid=downlink_teid)
-        sid = self.slice_id(slice_name)
-        for bmv2 in self.upf_switches.values():
-            bmv2.insert_entry("uplink_sessions", [uplink_teid],
-                              "set_session_uplink", [client_id, sid])
-            bmv2.insert_entry("downlink_sessions", [ue_ip],
-                              "set_session_downlink",
-                              [client_id, sid, downlink_teid])
-        for rule in rules:
-            app_id = self._app_id_for(slice_name, rule)
-            record.app_ids.append(app_id)
-            action = "term_forward" if rule.action == ALLOW else "term_drop"
-            for bmv2 in self.upf_switches.values():
-                bmv2.insert_entry("terminations", [client_id, app_id], action)
-        self.clients[imsi] = record
-        return record
+        return self.handle_attach_many([AttachSpec(
+            imsi=imsi, slice_name=slice_name, ue_ip=ue_ip,
+            uplink_teid=uplink_teid, downlink_teid=downlink_teid,
+            rules=tuple(rules))])[0]
+
+    def handle_attach_many(self,
+                           specs: Sequence[AttachSpec]
+                           ) -> List[ClientRecord]:
+        """Install user-plane state for a batch of attaching clients.
+
+        Table inserts are batched per switch: the whole batch costs one
+        ``insert_entries`` call per (switch, table), so the execution
+        engines fold the rows into their live indexes instead of
+        rebuilding once per client.
+        """
+        seen = set()
+        for spec in specs:
+            if spec.imsi in self.clients or spec.imsi in seen:
+                raise ValueError(f"IMSI {spec.imsi} is already attached")
+            seen.add(spec.imsi)
+        if self.capacity is not None:
+            budget = self.capacity.max_sessions
+            if len(self.clients) + len(specs) > budget:
+                raise CapacityError(
+                    f"attach of {len(specs)} client(s) exceeds the "
+                    f"session budget ({len(self.clients)} attached, "
+                    f"capacity {budget})")
+        records: List[ClientRecord] = []
+        session_rows: List[Tuple[list, str, Optional[List[int]], int]] = []
+        downlink_rows: List[Tuple[list, str, Optional[List[int]], int]] = []
+        term_rows: List[Tuple[list, str, Optional[List[int]], int]] = []
+        # Row -> owning record, in emission order (per-switch created
+        # entries come back in the same order).
+        session_owner: List[ClientRecord] = []
+        downlink_owner: List[ClientRecord] = []
+        term_owner: List[ClientRecord] = []
+        for spec in specs:
+            client_id = self._next_client_id
+            self._next_client_id += 1
+            record = ClientRecord(client_id=client_id, imsi=spec.imsi,
+                                  slice_name=spec.slice_name,
+                                  ue_ip=spec.ue_ip,
+                                  uplink_teid=spec.uplink_teid,
+                                  downlink_teid=spec.downlink_teid)
+            sid = self.slice_id(spec.slice_name)
+            session_rows.append(([spec.uplink_teid], "set_session_uplink",
+                                 [client_id, sid], 0))
+            session_owner.append(record)
+            downlink_rows.append(([spec.ue_ip], "set_session_downlink",
+                                  [client_id, sid, spec.downlink_teid], 0))
+            downlink_owner.append(record)
+            for rule in spec.rules:
+                app_id = self._app_id_for(spec.slice_name, rule)
+                record.app_ids.append(app_id)
+                action = ("term_forward" if rule.action == ALLOW
+                          else "term_drop")
+                term_rows.append(([client_id, app_id], action, None, 0))
+                term_owner.append(record)
+            for app_id in set(record.app_ids):
+                self._app_refs[app_id] = self._app_refs.get(app_id, 0) + 1
+            records.append(record)
+        for name, bmv2 in self.upf_switches.items():
+            for table, rows, owners in (
+                    ("uplink_sessions", session_rows, session_owner),
+                    ("downlink_sessions", downlink_rows, downlink_owner),
+                    ("terminations", term_rows, term_owner)):
+                if not rows:
+                    continue
+                created = bmv2.insert_entries(table, rows)
+                for owner, entry in zip(owners, created):
+                    owner.entries.append((name, table, entry))
+        for record in records:
+            self.clients[record.imsi] = record
+        return records
 
     def handle_detach(self, imsi: str) -> ClientRecord:
         """Remove a client's user-plane state.
 
-        Sessions and the client's Terminations entries are removed.
-        Shared Applications entries are left installed (they may serve
-        other clients of the slice) — faithfully mirroring the real
-        controller, where app-entry garbage collection is a separate
-        concern.
+        Sessions and the client's Terminations entries are removed via
+        the handles recorded at attach time.  Shared Applications
+        entries are reference-counted: they stay installed while any
+        other subscriber of the slice still resolves to them, and are
+        released (pattern forgotten, entries uninstalled) when the last
+        referencing subscriber detaches.
         """
-        record = self.clients.pop(imsi, None)
-        if record is None:
-            raise ValueError(f"IMSI {imsi} is not attached")
-        for bmv2 in self.upf_switches.values():
-            for table, predicate in (
-                ("uplink_sessions",
-                 lambda e: e.match == [record.uplink_teid]),
-                ("downlink_sessions",
-                 lambda e: e.match == [record.ue_ip]),
-                ("terminations",
-                 lambda e: e.match[0] == record.client_id),
-            ):
-                for entry in [e for e in bmv2.entries[table]
-                              if predicate(e)]:
-                    bmv2.delete_entry(table, entry)
-        return record
+        return self.handle_detach_many([imsi])[0]
+
+    def handle_detach_many(self, imsis: Sequence[str]) -> List[ClientRecord]:
+        """Remove a batch of clients' user-plane state, batching entry
+        deletions per (switch, table)."""
+        records: List[ClientRecord] = []
+        for imsi in imsis:
+            record = self.clients.pop(imsi, None)
+            if record is None:
+                raise ValueError(f"IMSI {imsi} is not attached")
+            records.append(record)
+        grouped: Dict[Tuple[str, str], List[ir.TableEntry]] = {}
+        for record in records:
+            for switch_name, table, entry in record.entries:
+                grouped.setdefault((switch_name, table), []).append(entry)
+            record.entries = []
+        for (switch_name, table), entries in grouped.items():
+            self.upf_switches[switch_name].delete_entries(table, entries)
+        for record in records:
+            self._release_app_ids(record.app_ids)
+        return records
 
     def client(self, imsi: str) -> ClientRecord:
         return self.clients[imsi]
+
+    def app_refcount(self, app_id: int) -> int:
+        """Attached subscribers currently referencing a shared app id
+        (0 once released)."""
+        return self._app_refs.get(app_id, 0)
 
     def applications_entries(self) -> int:
         """Installed Applications entries (per switch)."""

@@ -87,10 +87,18 @@ class SliceConfig:
 
 
 class OperatorPortal:
-    """Slice configuration state, as the operator sees it."""
+    """Slice configuration state, as the operator sees it.
+
+    Membership is held both as each slice's ``members`` list (the
+    operator-facing view) and as an imsi -> slice reverse index, kept
+    consistent by :meth:`add_member` / :meth:`remove_member`, so
+    :meth:`slice_of` — on the hot attach path — is a dict lookup
+    instead of a scan over every slice's member list.
+    """
 
     def __init__(self):
         self.slices: Dict[str, SliceConfig] = {}
+        self._member_slice: Dict[str, str] = {}
 
     def create_slice(self, name: str,
                      rules: Optional[List[FilterRule]] = None) -> SliceConfig:
@@ -102,9 +110,26 @@ class OperatorPortal:
 
     def add_member(self, slice_name: str, imsi: str) -> None:
         config = self._require(slice_name)
-        if self.slice_of(imsi) is not None:
+        if imsi in self._member_slice:
             raise ValueError(f"IMSI {imsi} is already in a slice")
         config.members.append(imsi)
+        self._member_slice[imsi] = slice_name
+
+    def add_members(self, slice_name: str, imsis: List[str]) -> None:
+        """Bulk enrolment: one validation pass, then one extend."""
+        config = self._require(slice_name)
+        for imsi in imsis:
+            if imsi in self._member_slice:
+                raise ValueError(f"IMSI {imsi} is already in a slice")
+        config.members.extend(imsis)
+        for imsi in imsis:
+            self._member_slice[imsi] = slice_name
+
+    def remove_member(self, imsi: str) -> None:
+        slice_name = self._member_slice.pop(imsi, None)
+        if slice_name is None:
+            raise ValueError(f"IMSI {imsi} is not in a slice")
+        self.slices[slice_name].members.remove(imsi)
 
     def update_rules(self, slice_name: str,
                      rules: List[FilterRule]) -> None:
@@ -117,10 +142,7 @@ class OperatorPortal:
         self._require(slice_name).rules = list(rules)
 
     def slice_of(self, imsi: str) -> Optional[str]:
-        for name, config in self.slices.items():
-            if imsi in config.members:
-                return name
-        return None
+        return self._member_slice.get(imsi)
 
     def rules_for(self, imsi: str) -> List[FilterRule]:
         slice_name = self.slice_of(imsi)

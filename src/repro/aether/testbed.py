@@ -9,26 +9,29 @@ Conventions:
   GTP-U encapsulated from here;
 * ``h2`` (leaf1 port 2) is the edge application server;
 * ``h3`` (leaf2 port 1) stands in for the Internet;
-* UEs get addresses in 172.16.0.0/24, routed toward the cell.
+* UEs get addresses in 172.16.0.0/12 (2^20 addresses — enough for the
+  million-subscriber soak), routed toward the cell.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..net.packet import (Packet, ip, make_gtpu_encapsulated, make_udp,
                           make_tcp)
 from ..net.topology import Topology, leaf_spine
+from ..obs import Observability
 from ..properties import compile_property
 from ..runtime.deployment import HydraDeployment
 from ..runtime.reports import HydraReport
+from .capacity import AetherCapacity, MAX_UE_INDEX, UE_PREFIX_LEN
 from .core import HydraControlApp, MobileCore
 from .onos import OnosController
 from .portal import OperatorPortal
 from .upf import upf_program
 
-UE_SUBNET = (172 << 24) | (16 << 16)          # 172.16.0.0/24
+UE_SUBNET = (172 << 24) | (16 << 16)          # 172.16.0.0/12
 N3_CELL = ip(192, 168, 0, 1)
 N3_UPF = ip(192, 168, 0, 100)
 
@@ -39,6 +42,10 @@ INTERNET_HOST = "h3"
 
 def ue_address(index: int) -> int:
     """The address assigned to the index-th UE (1-based)."""
+    if not 1 <= index <= MAX_UE_INDEX:
+        raise ValueError(
+            f"UE index {index} outside the 172.16.0.0/{UE_PREFIX_LEN} "
+            f"plan [1, {MAX_UE_INDEX}]")
     return UE_SUBNET | index
 
 
@@ -51,27 +58,60 @@ class TrafficResult:
 
 
 class AetherTestbed:
-    """A complete Aether deployment with Hydra application filtering."""
+    """A complete Aether deployment with Hydra application filtering.
 
-    def __init__(self):
+    ``capacity`` opts into the scaled control plane: an explicit
+    :class:`AetherCapacity` (or a plain session count) sizes the UPF
+    tables and the digest log window, bounds attaches, and keeps the
+    checker's dictionary rows off the spines.  ``engine`` / ``batched``
+    / ``obs`` pass through to the deployment — the soak benchmark runs
+    ``engine="codegen"`` with the batched traffic plane.
+    """
+
+    def __init__(self,
+                 capacity: Optional[Union[AetherCapacity, int]] = None,
+                 engine: str = "fast",
+                 batched: bool = False,
+                 obs: Optional[Observability] = None):
+        if isinstance(capacity, int):
+            capacity = AetherCapacity(max_sessions=capacity)
+        self.capacity = capacity
         self.topology: Topology = leaf_spine(num_leaves=2, num_spines=2,
                                              hosts_per_leaf=2)
         self.compiled = compile_property("application_filtering")
-        forwarding = {name: upf_program(f"fabric_upf_{name}")
+        forwarding = {name: upf_program(f"fabric_upf_{name}",
+                                        capacity=capacity)
                       for name in self.topology.switches}
         self.deployment = HydraDeployment(self.topology, self.compiled,
-                                          forwarding)
+                                          forwarding, engine=engine,
+                                          batched=batched, obs=obs)
         self.network = self.deployment.network
+        if capacity is not None:
+            # Re-seat each switch's digest ring at the declared window:
+            # the sized buffer that keeps per-switch memory flat however
+            # many packets a soak replays.
+            from ..p4.bmv2 import BoundedLog
+            for bmv2 in self.deployment.switches.values():
+                bmv2.digests = BoundedLog(capacity.digest_log_window,
+                                          on_evict=bmv2._on_digest_evict)
         self._install_routes()
 
         self.portal = OperatorPortal()
         upf_switches = {name: self.deployment.switches[name]
                         for name, spec in self.topology.switches.items()
                         if spec.is_leaf}
-        self.onos = OnosController(upf_switches)
-        self.hydra_app = HydraControlApp(self.deployment)
+        self.onos = OnosController(upf_switches, capacity=capacity)
+        self.hydra_app = HydraControlApp(
+            self.deployment,
+            edge_only=capacity.edge_only_filtering if capacity else False)
         self.core = MobileCore(self.portal, self.onos, self.hydra_app)
         self._ue_ips: Dict[str, int] = {}
+        # ip -> host reverse index (maintained once; host sets are
+        # static after construction), replacing the per-packet scan
+        # over topology.hosts.
+        self._ip_to_host: Dict[int, str] = {
+            spec.ipv4: name for name, spec in self.topology.hosts.items()
+        }
 
     # -- fabric routing ----------------------------------------------------
 
@@ -83,7 +123,7 @@ class AetherTestbed:
                 return [
                     ((hosts["h1"].ipv4, 32), 1),
                     ((hosts["h2"].ipv4, 32), 2),
-                    ((UE_SUBNET, 24), 1),       # UEs live behind the cell
+                    ((UE_SUBNET, UE_PREFIX_LEN), 1),  # UEs behind the cell
                     ((0, 0), 3),                 # default via spine1
                 ]
             if switch == "leaf2":
@@ -96,7 +136,7 @@ class AetherTestbed:
             return [
                 (((10 << 24) | (1 << 8), 24), 1),
                 (((10 << 24) | (2 << 8), 24), 2),
-                ((UE_SUBNET, 24), 1),
+                ((UE_SUBNET, UE_PREFIX_LEN), 1),
             ]
 
         for switch in self.topology.switches:
@@ -116,18 +156,35 @@ class AetherTestbed:
         self._ue_ips[imsi] = ue_ip
         return ue_ip
 
+    def attach_many(self, pairs: List[Tuple[str, int]]) -> List[int]:
+        """Bulk attach: ``(imsi, ue_index)`` pairs; returns UE addresses.
+
+        Table programming for the whole batch is grouped per switch, so
+        attach cost is amortized across the batch (the PFCP-style churn
+        path of the soak benchmark).
+        """
+        requests = [(imsi, ue_address(index)) for imsi, index in pairs]
+        self.core.attach_many(requests)
+        for imsi, ue_ip in requests:
+            self._ue_ips[imsi] = ue_ip
+        return [ue_ip for _, ue_ip in requests]
+
+    def detach_many(self, imsis: List[str]) -> None:
+        """Bulk detach, grouping table deletions per switch."""
+        self.core.detach_many(imsis)
+        for imsi in imsis:
+            self._ue_ips.pop(imsi, None)
+
     # -- traffic --------------------------------------------------------------
 
     def _host_for_ip(self, addr: int) -> Optional[str]:
-        for name, spec in self.topology.hosts.items():
-            if spec.ipv4 == addr:
-                return name
-        return None
+        return self._ip_to_host.get(addr)
 
-    def send_uplink(self, imsi: str, app_ip: int, dport: int,
-                    proto: str = "udp", payload_len: int = 100
-                    ) -> TrafficResult:
-        """A UE sends one uplink packet via its cell's GTP-U tunnel."""
+    def uplink_packet(self, imsi: str, app_ip: int, dport: int,
+                      proto: str = "udp",
+                      payload_len: int = 100) -> Packet:
+        """The GTP-U encapsulated uplink packet a UE's cell would emit
+        (used directly by the soak benchmark's replay loops)."""
         record = self.onos.client(imsi)
         ue_ip = self._ue_ips[imsi]
         if proto == "udp":
@@ -136,24 +193,37 @@ class AetherTestbed:
         else:
             inner = make_tcp(ue_ip, app_ip, 40000, dport,
                              payload_len=payload_len)
-        packet = make_gtpu_encapsulated(N3_CELL, N3_UPF,
-                                        record.uplink_teid, inner)
+        return make_gtpu_encapsulated(N3_CELL, N3_UPF,
+                                      record.uplink_teid, inner)
+
+    def downlink_packet(self, src_ip: int, imsi: str, sport: int,
+                        proto: str = "udp",
+                        payload_len: int = 100) -> Packet:
+        """A downlink packet from an application server toward a UE."""
+        ue_ip = self._ue_ips[imsi]
+        if proto == "udp":
+            return make_udp(src_ip, ue_ip, sport, 40000,
+                            payload_len=payload_len)
+        return make_tcp(src_ip, ue_ip, sport, 40000,
+                        payload_len=payload_len)
+
+    def send_uplink(self, imsi: str, app_ip: int, dport: int,
+                    proto: str = "udp", payload_len: int = 100
+                    ) -> TrafficResult:
+        """A UE sends one uplink packet via its cell's GTP-U tunnel."""
+        packet = self.uplink_packet(imsi, app_ip, dport, proto=proto,
+                                    payload_len=payload_len)
         return self._send(CELL_HOST, packet, app_ip)
 
     def send_downlink(self, src_ip: int, imsi: str, sport: int,
                       proto: str = "udp",
                       payload_len: int = 100) -> TrafficResult:
         """An application sends one downlink packet toward a UE."""
-        ue_ip = self._ue_ips[imsi]
         src_host = self._host_for_ip(src_ip)
         if src_host is None:
             raise ValueError("downlink source must be a known host")
-        if proto == "udp":
-            packet = make_udp(src_ip, ue_ip, sport, 40000,
-                              payload_len=payload_len)
-        else:
-            packet = make_tcp(src_ip, ue_ip, sport, 40000,
-                              payload_len=payload_len)
+        packet = self.downlink_packet(src_ip, imsi, sport, proto=proto,
+                                      payload_len=payload_len)
         return self._send(src_host, packet, dest_is_ue=True)
 
     def _send(self, src_host: str, packet: Packet,

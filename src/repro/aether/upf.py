@@ -22,9 +22,12 @@ filtering checker (Figure 9) observe the forwarding decision through its
 
 from __future__ import annotations
 
+from typing import Optional
+
 from ..net.packet import (ETH_TYPE_IPV4, ETHERNET, GTPU, IP_PROTO_TCP,
                           IP_PROTO_UDP, IPV4, TCP, UDP, UDP_PORT_GTPU)
 from ..p4 import ir
+from .capacity import AetherCapacity
 
 APP_ID_UNKNOWN = 0
 DIRECTION_UPLINK = 1
@@ -51,8 +54,18 @@ def _upf_ecmp_hash(ctx) -> None:
 _upf_ecmp_hash.pure = True
 
 
-def upf_program(name: str = "fabric_upf") -> ir.P4Program:
-    """Build the UPF forwarding program."""
+def upf_program(name: str = "fabric_upf",
+                capacity: Optional[AetherCapacity] = None) -> ir.P4Program:
+    """Build the UPF forwarding program.
+
+    ``capacity`` sizes the session/terminations/applications tables
+    from the deployment's declared budgets instead of the small-testbed
+    defaults (the resource model of a switch that really holds a
+    million subscribers' state).
+    """
+    sessions_size = capacity.session_table_size if capacity else 1024
+    terms_size = capacity.terminations_table_size if capacity else 4096
+    apps_size = capacity.applications_table_size if capacity else 1024
     program = ir.P4Program(name=name)
     program.parser = ir.ParserSpec(states=[
         ir.ParserState(
@@ -166,14 +179,14 @@ def upf_program(name: str = "fabric_upf") -> ir.P4Program:
         keys=[ir.TableKey("hdr.gtpu.teid", ir.MatchKind.EXACT)],
         actions=[uplink_session.name],
         default_action=(session_miss.name, []),
-        size=1024,
+        size=sessions_size,
     ))
     program.add_table(ir.Table(
         name="downlink_sessions",
         keys=[ir.TableKey("hdr.ipv4.dst_addr", ir.MatchKind.EXACT)],
         actions=[downlink_session.name],
         default_action=(session_miss.name, []),
-        size=1024,
+        size=sessions_size,
     ))
 
     # ---------------- Applications ----------------
@@ -199,7 +212,7 @@ def upf_program(name: str = "fabric_upf") -> ir.P4Program:
         ],
         actions=[set_app_id.name],
         default_action=(app_miss.name, []),
-        size=1024,
+        size=apps_size,
     ))
 
     # ---------------- Terminations ----------------
@@ -219,7 +232,7 @@ def upf_program(name: str = "fabric_upf") -> ir.P4Program:
         actions=[term_forward.name, term_drop.name],
         # A (client, app) pair with no entry is dropped.
         default_action=(term_drop.name, []),
-        size=4096,
+        size=terms_size,
     ))
 
     # ---------------- Routing (with ECMP over the spines) ----------------

@@ -9,7 +9,10 @@ Commands:
 * ``table1``                   — reproduce Table 1
 * ``fig12``                    — run the Figure 12 RTT experiment
 * ``bench``                    — benchmark the interp/fast/codegen engines
-  (``--net``: paper-rate traffic-plane replay, batched vs event mode)
+  (``--net``: paper-rate traffic-plane replay; ``--aether``: bench-scale
+  Aether soak)
+* ``aether``                   — million-subscriber Aether soak (bulk
+  attach/churn + traffic with live checkers)
 * ``difftest``                 — three-level differential oracle
 * ``dump-src <target>``        — print the codegen engine's generated
   Python source for a pipeline, with line numbers
@@ -198,9 +201,29 @@ def _parse_engines(text: str) -> Optional[List[str]]:
 
 def cmd_bench(args: argparse.Namespace) -> int:
     from .api import bench
-    from .experiments import format_bench, format_net_bench
+    from .experiments import (format_aether_bench, format_bench,
+                              format_net_bench)
 
     engines = _parse_engines(args.engine)
+    if args.net and args.aether:
+        raise SystemExit("error: give at most one of --net / --aether")
+    if args.aether:
+        out = args.out if args.out != "BENCH_throughput.json" \
+            else "BENCH_aether.json"
+        engine = engines[0] if engines else "codegen"
+        print(f"aether soak benchmark ({args.sessions:,} sessions, "
+              f"engine {engine}"
+              + (f", {args.workers} workers" if args.workers > 1 else "")
+              + ")...")
+        result = bench(kind="aether", sessions=args.sessions,
+                       workers=args.workers, out=out, engines=engines)
+        print(format_aether_bench(result))
+        if out:
+            print(f"wrote {out}")
+        flat = result.get("flatness", {}).get("flat")
+        if args.workers > 1:
+            flat = None  # advisory under sharding: cores are contended
+        return 0 if result.reports == 0 and flat is not False else 1
     if args.net:
         out = args.out if args.out != "BENCH_throughput.json" \
             else "BENCH_net.json"
@@ -208,7 +231,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
         print(f"net-plane replay benchmark (engine {engine}, "
               f"{args.rate:,.0f} pps offered for {args.duration}s "
               "simulated)...")
-        result = bench(net=True, rate_pps=args.rate,
+        result = bench(kind="net", rate_pps=args.rate,
                        duration_s=args.duration, out=out,
                        engines=engines)
         print(format_net_bench(result))
@@ -227,6 +250,44 @@ def cmd_bench(args: argparse.Namespace) -> int:
     print(format_bench(result))
     if args.out:
         print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_aether(args: argparse.Namespace) -> int:
+    from .api import aether
+    from .experiments import format_aether_bench
+
+    print(f"aether soak: {args.sessions:,} sessions, engine "
+          f"{args.engine}, churn 1/{args.churn_every}, "
+          f"{args.replay_ues} replay UEs"
+          + (f", {args.workers} workers" if args.workers > 1 else "")
+          + (" (flatness probe off)" if args.no_flatness else "")
+          + "...")
+    result = aether(sessions=args.sessions, engine=args.engine,
+                    batched=not args.event, workers=args.workers,
+                    batch_size=args.batch, churn_every=args.churn_every,
+                    replay_ues=args.replay_ues,
+                    replay_repeats=args.replay_repeats,
+                    flatness=not args.no_flatness,
+                    out=args.out or None)
+    print(format_aether_bench(result))
+    if args.out:
+        print(f"wrote {args.out}")
+    if result.reports:
+        print(f"error: checker raised {result.reports} report(s) on "
+              "allowed traffic", file=sys.stderr)
+        return 1
+    if result.flat is False:
+        if args.workers > 1:
+            # Sharded probes contend for cores, so the wall-clock
+            # ratio is advisory; only serial runs gate the exit code.
+            print("note: flatness probe is advisory with workers > 1 "
+                  "(shards contend for cores); rerun with --workers 1 "
+                  "to gate on it", file=sys.stderr)
+        else:
+            print("error: per-packet cost not flat across session "
+                  "scale", file=sys.stderr)
+            return 1
     return 0
 
 
@@ -353,12 +414,23 @@ def _traced_run(args: argparse.Namespace):
         config = Fig12Config(duration_s=args.duration, engine=args.engine)
         run_rtt_experiment(ALL_CHECKERS, "traced", config, obs=obs)
         return obs
+    if args.scenario == "aether":
+        # A miniature soak with the live registry: surfaces
+        # phase_seconds{phase="attach"|"churn"|"replay"} and the rest
+        # of the control-plane metrics.
+        from .experiments.aetherbench import run_soak
+
+        run_soak(sessions=2_000, engine=args.engine, batched=False,
+                 workers=1, batch_size=500, replay_ues=100,
+                 replay_repeats=3, flatness=False,
+                 registry=obs.registry)
+        return obs
     try:
         seed = int(args.scenario)
     except ValueError:
         raise SystemExit(
-            f"error: scenario must be 'fig12' or a difftest seed "
-            f"(an integer), got {args.scenario!r}")
+            f"error: scenario must be 'fig12', 'aether', or a difftest "
+            f"seed (an integer), got {args.scenario!r}")
     from .api import compile_indus, deploy
     from .difftest.harness import build_packet
     from .difftest.scenario import gen_scenario
@@ -543,7 +615,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--duration", type=float, default=1.0,
                    help="[--net] simulated seconds of trace to replay "
                         "(default 1.0)")
+    p.add_argument("--aether", action="store_true",
+                   help="run the Aether soak benchmark instead at "
+                        "bench scale: bulk attach, churn, and traffic "
+                        "with checkers live (writes BENCH_aether.json "
+                        "unless -o is given; `repro aether` runs the "
+                        "full-scale campaign)")
+    p.add_argument("--sessions", type=_positive_int, default=50_000,
+                   help="[--aether] concurrent sessions (default 50000)")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "aether",
+        help="million-subscriber Aether soak: bulk PFCP-style attach, "
+             "churn, uplink/downlink traffic through the UPF with the "
+             "application-filtering checker live, and a per-packet "
+             "cost flatness probe")
+    p.add_argument("--sessions", type=_positive_int, default=1_000_000,
+                   help="concurrent sessions to sustain "
+                        "(default 1000000)")
+    p.add_argument("--engine", default="codegen",
+                   choices=["fast", "interp", "codegen"],
+                   help="switch execution engine (default codegen)")
+    p.add_argument("--workers", type=_positive_int, default=1,
+                   help="shard the UE range over N worker processes "
+                        "(default 1; deterministic counters are "
+                        "identical for any worker count)")
+    p.add_argument("--batch", type=_positive_int, default=10_000,
+                   help="attach/detach batch size (default 10000)")
+    p.add_argument("--churn-every", type=_positive_int, default=10,
+                   help="detach+reattach every Nth UE (default 10)")
+    p.add_argument("--replay-ues", type=_positive_int, default=2_000,
+                   help="UEs sampled for the traffic phase "
+                        "(default 2000)")
+    p.add_argument("--replay-repeats", type=_positive_int, default=25,
+                   help="packets per sampled UE (default 25)")
+    p.add_argument("--event", action="store_true",
+                   help="event-per-packet network mode instead of the "
+                        "batched hot loop")
+    p.add_argument("--no-flatness", action="store_true",
+                   help="skip the per-packet cost flatness probe")
+    p.add_argument("-o", "--out", default="BENCH_aether.json",
+                   help="output JSON path (default BENCH_aether.json; "
+                        "empty string disables the write)")
+    p.set_defaults(fn=cmd_aether)
 
     p = sub.add_parser(
         "difftest",
@@ -603,8 +718,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     def add_scenario_args(p: argparse.ArgumentParser) -> None:
         p.add_argument("scenario", nargs="?", default="fig12",
-                       help="'fig12' (default) or a difftest scenario "
-                            "seed (integer)")
+                       help="'fig12' (default), 'aether' (miniature "
+                            "soak), or a difftest scenario seed "
+                            "(integer)")
         p.add_argument("--duration", type=float, default=0.02,
                        help="simulated seconds for the fig12 scenario "
                             "(default 0.02)")

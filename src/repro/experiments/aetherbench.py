@@ -1,0 +1,480 @@
+"""Million-subscriber Aether soak benchmark (``repro aether`` /
+``python -m repro bench --aether``).
+
+Soaks the Section 5.2 Aether testbed at scale: bulk PFCP-style attach
+up to the target session count, a churn phase (detach a deterministic
+fraction, re-attach it), and a replay phase pushing uplink + downlink
+traffic through the UPF with the application-filtering checker live.
+The report records sessions, attach/s, p50/p99 per-attach latency,
+replay pps, Hydra report count, peak RSS, the capacity model, and a
+*flatness* probe: per-packet forwarding cost measured at a small
+baseline session count and again at the full count — the O(1)
+checker-state claim is that the two agree within 10%.
+
+Sharding: UE indices partition round-robin over workers
+(:func:`repro.parallel.shard.partition_seeds`); every per-session
+decision (slice membership, churn, replay sampling, denied traffic) is
+a pure function of the UE index, so the union of work — and therefore
+every deterministic counter in the report — is identical for any
+worker count.  Results append to ``BENCH_aether.json`` history like
+the other benchmarks do.
+"""
+
+from __future__ import annotations
+
+import json
+import resource
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..net.packet import Packet
+from ..obs import MetricsRegistry, profiled
+from ..parallel.shard import partition_seeds
+from .bench import bench_meta, load_history
+
+#: The acceptance target: one million concurrent sessions with live
+#: checkers, churn, and traffic.
+AETHER_TARGET_SESSIONS = 1_000_000
+
+#: Session count for the flatness baseline probe.
+FLATNESS_BASELINE_SESSIONS = 10_000
+
+#: Per-packet cost at the full session count must stay within this
+#: factor of the baseline probe (the "flat from 10^4 to 10^6" claim).
+FLATNESS_TOLERANCE = 1.10
+
+_SLICES = 4
+_UPLINK_DPORT = 80
+_DENIED_DPORT = 9999
+
+
+def _imsi(index: int) -> str:
+    return f"imsi{index}"
+
+
+def _slice_name(index: int, slices: int = _SLICES) -> str:
+    return f"slice{index % slices}"
+
+
+def _slice_rules(server_ip: int):
+    """Two rules per slice: allow UDP/80 toward the edge server, deny
+    everything else.  Patterns are identical across subscribers of a
+    slice, so the whole slice shares two interned app ids."""
+    from ..aether import ALLOW, DENY, FilterRule
+    return [
+        FilterRule(priority=20, ip_prefix=(server_ip, 32), proto=17,
+                   l4_port=(_UPLINK_DPORT, _UPLINK_DPORT), action=ALLOW),
+        FilterRule(priority=1, action=DENY),
+    ]
+
+
+def _build_testbed(sessions: int, engine: str, batched: bool,
+                   slices: int = _SLICES):
+    """A capacity-bounded testbed with ``slices`` provisioned slices."""
+    from ..aether import AetherCapacity, AetherTestbed, SERVER_HOST
+    tb = AetherTestbed(
+        capacity=AetherCapacity(max_sessions=sessions,
+                                rules_per_session=2),
+        engine=engine, batched=batched)
+    server_ip = tb.topology.hosts[SERVER_HOST].ipv4
+    for s in range(slices):
+        tb.provision_slice(f"slice{s}", _slice_rules(server_ip))
+    return tb, server_ip
+
+
+def _enroll(tb, indices: Sequence[int], slices: int = _SLICES) -> None:
+    by_slice: Dict[str, List[str]] = {}
+    for i in indices:
+        by_slice.setdefault(_slice_name(i, slices), []).append(_imsi(i))
+    for name, imsis in by_slice.items():
+        tb.portal.add_members(name, imsis)
+
+
+def _chunks(seq: Sequence[int], size: int):
+    for start in range(0, len(seq), size):
+        yield seq[start:start + size]
+
+
+def _attach_batches(tb, indices: Sequence[int], batch_size: int,
+                    samples: Optional[List[Tuple[int, float]]] = None
+                    ) -> float:
+    """Attach ``indices`` in batches; returns total wall seconds and
+    optionally records per-batch ``(size, seconds)`` latency samples."""
+    total = 0.0
+    for batch in _chunks(indices, batch_size):
+        start = time.perf_counter()
+        tb.attach_many([(_imsi(i), i) for i in batch])
+        elapsed = time.perf_counter() - start
+        total += elapsed
+        if samples is not None:
+            samples.append((len(batch), elapsed))
+    return total
+
+
+def measure_packet_cost(tb, server_ip: int, indices: Sequence[int],
+                        probe_ues: int = 256, packets: int = 2000,
+                        repeats: int = 3) -> float:
+    """Best-of-N microseconds per packet through the ingress leaf's
+    pipeline (tables + checker), over GTP-U packets from a spread of
+    attached UEs — the quantity the flatness claim is about."""
+    stride = max(1, len(indices) // probe_ues)
+    sample = list(indices)[::stride][:probe_ues]
+    leaf1 = tb.deployment.switches["leaf1"]
+    pkts = [tb.uplink_packet(_imsi(i), server_ip, _UPLINK_DPORT)
+            for i in sample]
+    for packet in pkts:
+        leaf1.process(packet, 1)
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for k in range(packets):
+            leaf1.process(pkts[k % len(pkts)], 1)
+        best = min(best, (time.perf_counter() - start) / packets)
+    return best * 1e6
+
+
+def _replay_trace(tb, server_ip: int, ues: Sequence[int],
+                  downlink_ues: Sequence[int], denied_ues: Sequence[int],
+                  repeats: int, pace_pps: float
+                  ) -> Tuple[List[Tuple[float, Packet]],
+                             List[Tuple[float, Packet]], int]:
+    """Materialize the replay emissions: paced uplink (allowed +
+    denied) from the cell and downlink from the edge server.  One
+    template packet per (UE, kind) keeps the trace memory-bounded.
+    Returns (uplink trace, downlink trace, expected deliveries)."""
+    up = [tb.uplink_packet(_imsi(i), server_ip, _UPLINK_DPORT)
+          for i in ues]
+    down = [tb.downlink_packet(server_ip, _imsi(i), _UPLINK_DPORT)
+            for i in downlink_ues]
+    denied = [tb.uplink_packet(_imsi(i), server_ip, _DENIED_DPORT)
+              for i in denied_ues]
+    gap = 1.0 / pace_pps
+    uplink: List[Tuple[float, Packet]] = []
+    downlink: List[Tuple[float, Packet]] = []
+    tick = 0
+    for _ in range(repeats):
+        for packet in up:
+            uplink.append((tick * gap, packet))
+            tick += 1
+        for packet in down:
+            downlink.append((tick * gap, packet))
+            tick += 1
+    for packet in denied:
+        uplink.append((tick * gap, packet))
+        tick += 1
+    expected = repeats * (len(up) + len(down))
+    return uplink, downlink, expected
+
+
+def _soak_shard(payload: Tuple[Tuple[int, ...], Dict[str, Any]]
+                ) -> Dict[str, Any]:
+    """One worker's soak: its own testbed holding its share of the
+    sessions, attach -> probe -> churn -> replay.  Module-level so the
+    multiprocessing pool can pickle it."""
+    from ..aether import CELL_HOST, SERVER_HOST
+    indices, cfg = payload
+    indices = list(indices)
+    registry = MetricsRegistry()
+    tb, server_ip = _build_testbed(len(indices), cfg["engine"],
+                                   cfg["batched"], cfg["slices"])
+    _enroll(tb, indices, cfg["slices"])
+
+    samples: List[Tuple[int, float]] = []
+    with profiled(registry, "attach"):
+        attach_wall = _attach_batches(tb, indices, cfg["batch_size"],
+                                      samples)
+
+    us_per_packet = (measure_packet_cost(tb, server_ip, indices)
+                     if cfg["probe"] else None)
+
+    # Churn: every churn_every-th UE index detaches and re-attaches —
+    # a pure function of the index, so the churned set is identical
+    # for any sharding.
+    churned = [i for i in indices if i % cfg["churn_every"] == 0]
+    detach_wall = 0.0
+    with profiled(registry, "churn"):
+        for batch in _chunks(churned, cfg["batch_size"]):
+            start = time.perf_counter()
+            tb.detach_many([_imsi(i) for i in batch])
+            detach_wall += time.perf_counter() - start
+            _attach_batches(tb, batch, cfg["batch_size"])
+
+    us_after_churn = (measure_packet_cost(tb, server_ip, indices)
+                      if cfg["probe"] else None)
+
+    # Replay: sampled UEs exchange paced uplink/downlink traffic
+    # through the fabric with the checker live; a smaller sample sends
+    # traffic the policy denies (classified, then dropped by the UPF).
+    replay_ues = [i for i in indices if i % cfg["replay_every"] == 0]
+    downlink_ues = [i for i in replay_ues
+                    if i % (4 * cfg["replay_every"]) == 0]
+    denied_ues = [i for i in replay_ues
+                  if i % (8 * cfg["replay_every"]) == 0]
+    uplink, downlink, expected = _replay_trace(
+        tb, server_ip, replay_ues, downlink_ues, denied_ues,
+        cfg["replay_repeats"], cfg["pace_pps"])
+    offered = len(uplink) + len(downlink)
+    cell = tb.network.host(CELL_HOST)
+    server = tb.network.host(SERVER_HOST)
+    rx_before = cell.rx_count + server.rx_count
+    with profiled(registry, "replay"):
+        start = time.perf_counter()
+        tb.network.attach_source(CELL_HOST, iter(uplink))
+        if downlink:
+            tb.network.attach_source(SERVER_HOST, iter(downlink))
+        tb.network.run()
+        replay_wall = time.perf_counter() - start
+    delivered = cell.rx_count + server.rx_count - rx_before
+
+    return {
+        "sessions": len(indices),
+        "attached": len(tb.onos.clients),
+        "attach_wall_s": attach_wall,
+        "attach_samples": samples,
+        "churned": len(churned),
+        "detach_wall_s": detach_wall,
+        "replay_offered": offered,
+        "replay_delivered": delivered,
+        "replay_expected": expected,
+        "replay_wall_s": replay_wall,
+        "reports": len(tb.reports),
+        "us_per_packet": us_per_packet,
+        "us_per_packet_after_churn": us_after_churn,
+        "peak_rss_bytes": resource.getrusage(
+            resource.RUSAGE_SELF).ru_maxrss * 1024,
+        "metrics": registry.to_dict(),
+    }
+
+
+def measure_baseline_cost(sessions: int = FLATNESS_BASELINE_SESSIONS,
+                          engine: str = "codegen",
+                          batch_size: int = 10_000) -> float:
+    """Per-packet cost at the small baseline session count, against
+    which the full-scale probe is compared."""
+    tb, server_ip = _build_testbed(sessions, engine, batched=False)
+    indices = list(range(1, sessions + 1))
+    _enroll(tb, indices)
+    _attach_batches(tb, indices, batch_size)
+    return measure_packet_cost(tb, server_ip, indices)
+
+
+def _weighted_percentile(samples: Sequence[Tuple[float, int]],
+                         q: float) -> float:
+    """Percentile of a weighted sample set: ``(value, weight)`` pairs,
+    weight = how many observations share the value."""
+    ordered = sorted(samples)
+    total = sum(weight for _, weight in ordered)
+    if total == 0:
+        return 0.0
+    rank = q * total
+    seen = 0
+    for value, weight in ordered:
+        seen += weight
+        if seen >= rank:
+            return value
+    return ordered[-1][0]
+
+
+def run_soak(sessions: int = AETHER_TARGET_SESSIONS,
+             engine: str = "codegen", batched: bool = True,
+             workers: int = 1, batch_size: int = 10_000,
+             churn_every: int = 10, replay_ues: int = 2_000,
+             replay_repeats: int = 25, pace_pps: float = 100_000.0,
+             slices: int = _SLICES, flatness: bool = True,
+             baseline_sessions: int = FLATNESS_BASELINE_SESSIONS,
+             out_path: Optional[str] = None,
+             registry: Optional[MetricsRegistry] = None
+             ) -> Dict[str, Any]:
+    """The full soak; optionally writes ``BENCH_aether.json``.
+
+    ``workers > 1`` shards the UE index range round-robin across a
+    process pool — each worker soaks its own testbed; deterministic
+    counters (attaches, churn, offered/delivered, reports) are
+    identical for any worker count.  Wall-clock rates use the slowest
+    shard, which is what a concurrent deployment would observe.
+
+    ``registry`` (a live :class:`~repro.obs.MetricsRegistry`) receives
+    the merged worker metrics — including ``phase_seconds{phase=
+    "attach"|"churn"|"replay"}`` — which is how ``repro metrics
+    aether`` surfaces the soak's phase timings.
+    """
+    if sessions < 1:
+        raise ValueError(f"sessions must be >= 1, got {sessions}")
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    cfg = {
+        "engine": engine,
+        "batched": batched,
+        "batch_size": batch_size,
+        "churn_every": max(2, churn_every),
+        "replay_every": max(1, sessions // max(1, replay_ues)),
+        "replay_repeats": replay_repeats,
+        "pace_pps": pace_pps,
+        "slices": slices,
+        "probe": flatness,
+    }
+    shards = partition_seeds(1, sessions, workers)
+    payloads = [(shard.seeds, cfg) for shard in shards]
+    if len(payloads) == 1:
+        shard_results = [_soak_shard(payloads[0])]
+    else:
+        import multiprocessing
+
+        with multiprocessing.get_context().Pool(
+                processes=len(payloads)) as pool:
+            shard_results = pool.map(_soak_shard, payloads)
+
+    if registry is None:
+        registry = MetricsRegistry()
+    for shard in shard_results:
+        registry.merge(shard["metrics"])
+
+    attach_total = sum(s["sessions"] for s in shard_results)
+    attach_wall = max(s["attach_wall_s"] for s in shard_results)
+    churned = sum(s["churned"] for s in shard_results)
+    detach_wall = max(s["detach_wall_s"] for s in shard_results)
+    offered = sum(s["replay_offered"] for s in shard_results)
+    delivered = sum(s["replay_delivered"] for s in shard_results)
+    expected = sum(s["replay_expected"] for s in shard_results)
+    replay_wall = max(s["replay_wall_s"] for s in shard_results)
+    latency = [(seconds / size * 1e6, size)
+               for s in shard_results
+               for size, seconds in s["attach_samples"] if size]
+
+    result: Dict[str, Any] = {
+        "benchmark": "aether_soak",
+        "meta": bench_meta(),
+        "engine": engine,
+        "batched": batched,
+        "workers": workers,
+        "capacity": _build_capacity_describe(sessions, workers),
+        "sessions": {
+            "target": sessions,
+            "attached_peak": sum(s["attached"] for s in shard_results),
+        },
+        "attach": {
+            "total": attach_total,
+            "wall_s": round(attach_wall, 3),
+            "per_s": round(attach_total / attach_wall, 1)
+            if attach_wall else 0.0,
+            "p50_us": round(_weighted_percentile(latency, 0.50), 2),
+            "p99_us": round(_weighted_percentile(latency, 0.99), 2),
+            "batch_size": batch_size,
+        },
+        "churn": {
+            "detached": churned,
+            "reattached": churned,
+            "detach_per_s": round(churned / detach_wall, 1)
+            if detach_wall else 0.0,
+        },
+        "replay": {
+            "offered": offered,
+            "delivered": delivered,
+            "expected": expected,
+            "pps": round(offered / replay_wall, 1) if replay_wall
+            else 0.0,
+            "wall_s": round(replay_wall, 3),
+            "reports": sum(s["reports"] for s in shard_results),
+        },
+        "peak_rss_bytes": max(s["peak_rss_bytes"]
+                              for s in shard_results),
+        "phase_seconds": {
+            series["labels"]["phase"]: round(series["sum"], 6)
+            for series in registry.to_dict().get(
+                "phase_seconds", {}).get("series", [])
+        },
+        "deterministic": {
+            "attach_total": attach_total,
+            "churned": churned,
+            "replay_offered": offered,
+            "replay_delivered": delivered,
+            "replay_expected": expected,
+            "reports": sum(s["reports"] for s in shard_results),
+        },
+    }
+    if flatness:
+        baseline = measure_baseline_cost(
+            min(baseline_sessions, sessions), engine=engine,
+            batch_size=batch_size)
+        full = max(s["us_per_packet"] for s in shard_results)
+        after_churn = max(s["us_per_packet_after_churn"]
+                          for s in shard_results)
+        ratio = full / baseline if baseline else None
+        result["flatness"] = {
+            "baseline_sessions": min(baseline_sessions, sessions),
+            "us_per_packet_baseline": round(baseline, 2),
+            "us_per_packet_full": round(full, 2),
+            "us_per_packet_after_churn": round(after_churn, 2),
+            "ratio": round(ratio, 4) if ratio is not None else None,
+            "flat": ratio is not None and ratio <= FLATNESS_TOLERANCE,
+            "tolerance": FLATNESS_TOLERANCE,
+        }
+    if out_path:
+        history = load_history(out_path)
+        history.append(_aether_history_entry(result))
+        result["history"] = history
+        with open(out_path, "w") as handle:
+            json.dump(result, handle, indent=2)
+            handle.write("\n")
+    return result
+
+
+def _build_capacity_describe(sessions: int, workers: int
+                             ) -> Dict[str, Any]:
+    from ..aether import AetherCapacity
+    per_shard = -(-sessions // workers)
+    described = AetherCapacity(max_sessions=per_shard,
+                               rules_per_session=2).describe()
+    described["total_sessions"] = sessions
+    described["shards"] = workers
+    return described
+
+
+def _aether_history_entry(result: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "meta": result["meta"],
+        "sessions": result["sessions"]["target"],
+        "workers": result["workers"],
+        "attach_per_s": result["attach"]["per_s"],
+        "attach_p99_us": result["attach"]["p99_us"],
+        "replay_pps": result["replay"]["pps"],
+        "reports": result["replay"]["reports"],
+        "peak_rss_bytes": result["peak_rss_bytes"],
+        "flat": result.get("flatness", {}).get("flat"),
+    }
+
+
+def format_aether_bench(result: Dict[str, Any]) -> str:
+    lines = [f"aether soak — {result['sessions']['target']:,} sessions "
+             f"(engine={result['engine']}, workers={result['workers']})"]
+    attach = result["attach"]
+    lines.append(
+        f"  attach  {attach['total']:>12,} total  "
+        f"{attach['per_s']:>10,.0f}/s   "
+        f"p50={attach['p50_us']:.1f}us p99={attach['p99_us']:.1f}us")
+    churn = result["churn"]
+    lines.append(f"  churn   {churn['detached']:>12,} detach+reattach  "
+                 f"{churn['detach_per_s']:>10,.0f} detach/s")
+    replay = result["replay"]
+    lines.append(
+        f"  replay  {replay['offered']:>12,} offered  "
+        f"{replay['pps']:>10,.0f} pps   "
+        f"delivered={replay['delivered']:,} reports={replay['reports']}")
+    flat = result.get("flatness")
+    if flat:
+        verdict = "FLAT" if flat["flat"] else "NOT FLAT"
+        lines.append(
+            f"  per-pkt {flat['us_per_packet_baseline']:.1f}us @"
+            f"{flat['baseline_sessions']:,} -> "
+            f"{flat['us_per_packet_full']:.1f}us @full "
+            f"(x{flat['ratio']:.3f}) {verdict}")
+    lines.append(f"  peak RSS {result['peak_rss_bytes'] / 2**20:,.0f} MiB")
+    phases = result.get("phase_seconds")
+    if phases:
+        rendered = "  ".join(f"{name}={seconds:.2f}s"
+                             for name, seconds in sorted(phases.items()))
+        lines.append(f"  phases  {rendered}")
+    history = result.get("history")
+    if history:
+        lines.append(f"  history: {len(history)} recorded run(s)")
+    return "\n".join(lines)

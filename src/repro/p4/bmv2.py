@@ -18,8 +18,8 @@ from __future__ import annotations
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import (Any, Callable, Dict, Iterator, List, Optional, Tuple,
-                    Union)
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from ..net.packet import Header, Packet
 from ..obs import NULL_OBS, Observability
@@ -361,6 +361,48 @@ class Bmv2Switch:
         self._notify_config(table_name)
         return entry
 
+    def insert_entries(self, table_name: str,
+                       rows: Sequence[Tuple[List[ir.MatchSpec], str,
+                                            Optional[List[int]], int]]
+                       ) -> List[ir.TableEntry]:
+        """Install a batch of entries with one index update and one
+        config notification.
+
+        ``rows`` holds ``(match, action, args, priority)`` tuples.  The
+        execution engines fold the new entries into their live table
+        indexes incrementally instead of discarding them, so bulk
+        control-plane churn (the Aether attach path) does not trigger a
+        full index rebuild per entry — or even per batch.
+        """
+        table = self._table(table_name)
+        created: List[ir.TableEntry] = []
+        for match, action, args, priority in rows:
+            if action not in self.program.actions:
+                raise P4RuntimeError(f"unknown action {action!r}")
+            expected = len(self.program.actions[action].params)
+            args = list(args or [])
+            if len(args) != expected:
+                raise P4RuntimeError(
+                    f"action {action!r} expects {expected} args, "
+                    f"got {len(args)}"
+                )
+            if len(match) != len(table.keys):
+                raise P4RuntimeError(
+                    f"table {table_name!r} has {len(table.keys)} keys, "
+                    f"got {len(match)} match specs"
+                )
+            created.append(ir.TableEntry(match=match, action=action,
+                                         args=args, priority=priority))
+        self.entries[table_name].extend(created)
+        if self._fast is not None:
+            hook = getattr(self._fast, "entries_inserted", None)
+            if hook is not None:
+                hook(table_name, created)
+            else:
+                self._fast.invalidate_table(table_name)
+        self._notify_config(table_name)
+        return created
+
     def delete_entry(self, table_name: str, entry: ir.TableEntry) -> None:
         self._table(table_name)
         try:
@@ -369,6 +411,28 @@ class Bmv2Switch:
             raise P4RuntimeError("entry not installed") from exc
         if self._fast is not None:
             self._fast.invalidate_table(table_name)
+        self._notify_config(table_name)
+
+    def delete_entries(self, table_name: str,
+                       entries: Sequence[ir.TableEntry]) -> None:
+        """Remove a batch of installed entries in one pass over the
+        entry list (``delete_entry`` is O(installed) per call), with one
+        index update and one config notification for the whole batch."""
+        self._table(table_name)
+        ids = {id(e): e for e in entries}
+        if not ids:
+            return
+        installed = self.entries[table_name]
+        kept = [e for e in installed if id(e) not in ids]
+        if len(kept) != len(installed) - len(ids):
+            raise P4RuntimeError("entry not installed")
+        installed[:] = kept
+        if self._fast is not None:
+            hook = getattr(self._fast, "entries_removed", None)
+            if hook is not None:
+                hook(table_name, list(ids.values()))
+            else:
+                self._fast.invalidate_table(table_name)
         self._notify_config(table_name)
 
     def clear_table(self, table_name: str) -> None:

@@ -178,6 +178,30 @@ class CodegenEngine:
                 for entry in self.switch.entries.get(name, ())):
             self._build()
 
+    def entries_inserted(self, name: str, new_entries) -> None:
+        """Bulk-insert hook: fold appended entries into the live index.
+
+        An entry whose action the specialized source did not assume
+        still forces a recompile (same rule as :meth:`invalidate_table`,
+        but checking only the new entries instead of rescanning the
+        whole table).
+        """
+        assumed = self._assumed.get(name)
+        if assumed is not None and any(
+                entry.action not in assumed for entry in new_entries):
+            self._build()
+            return
+        index = self.tables.get(name)
+        if index is not None and not index.fold_inserts(new_entries):
+            index.invalidate()
+
+    def entries_removed(self, name: str, removed) -> None:
+        """Bulk-delete hook: deletions never widen the assumed action
+        set, so only the table index needs maintenance."""
+        index = self.tables.get(name)
+        if index is not None and not index.fold_deletes(removed):
+            index.invalidate()
+
     def on_default_change(self, name: str) -> None:
         current = self.switch.default_actions.get(name)
         if current is not None:

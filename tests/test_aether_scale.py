@@ -1,0 +1,274 @@
+"""The scaled Aether control plane: reverse indexes, shared-entry
+refcounting, bulk attach/detach parity, and the capacity model.
+
+These pin the million-subscriber invariants:
+
+* ``OperatorPortal.slice_of`` and ``AetherTestbed._host_for_ip`` are
+  maintained reverse indexes, behaviorally identical to the scans they
+  replaced and kept consistent by add/remove;
+* shared Applications entries are released only when the *last*
+  referencing subscriber detaches (traffic for the survivors keeps
+  classifying);
+* ``attach_many``/``detach_many`` are semantically a loop of the
+  single-client calls;
+* :class:`AetherCapacity` bounds sessions and app-id allocation.
+"""
+
+import pytest
+
+from repro.aether import (ALLOW, AetherCapacity, AetherTestbed,
+                          AttachSpec, CapacityError, FilterRule,
+                          MAX_APP_IDS, MAX_UE_INDEX, OperatorPortal,
+                          OnosController, SERVER_HOST, ue_address,
+                          upf_program)
+from repro.net.packet import ip
+from repro.p4.bmv2 import Bmv2Switch
+
+UDP = 17
+
+
+def allow_rules(server, port=80):
+    return [
+        FilterRule(priority=10, ip_prefix=(server, 32), proto=UDP,
+                   l4_port=(port, port), action=ALLOW),
+        FilterRule(priority=1, action="deny"),
+    ]
+
+
+# -- portal reverse index ---------------------------------------------------
+
+def test_slice_of_matches_membership_lists():
+    portal = OperatorPortal()
+    portal.create_slice("a", [])
+    portal.create_slice("b", [])
+    portal.add_member("a", "i1")
+    portal.add_members("b", ["i2", "i3"])
+    for imsi in ("i1", "i2", "i3"):
+        # The index answer must agree with the operator-facing lists.
+        scan = next((name for name, cfg in portal.slices.items()
+                     if imsi in cfg.members), None)
+        assert portal.slice_of(imsi) == scan
+    assert portal.slice_of("i9") is None
+
+
+def test_remove_member_keeps_index_and_list_consistent():
+    portal = OperatorPortal()
+    portal.create_slice("a", [])
+    portal.add_members("a", ["i1", "i2"])
+    portal.remove_member("i1")
+    assert portal.slice_of("i1") is None
+    assert portal.slices["a"].members == ["i2"]
+    with pytest.raises(ValueError):
+        portal.remove_member("i1")
+    # Freed for re-enrolment elsewhere.
+    portal.create_slice("b", [])
+    portal.add_member("b", "i1")
+    assert portal.slice_of("i1") == "b"
+
+
+def test_duplicate_enrolment_rejected_across_slices():
+    portal = OperatorPortal()
+    portal.create_slice("a", [])
+    portal.create_slice("b", [])
+    portal.add_member("a", "i1")
+    with pytest.raises(ValueError):
+        portal.add_member("b", "i1")
+    with pytest.raises(ValueError):
+        portal.add_members("b", ["i2", "i1"])
+    # The failed bulk call must not have half-applied.
+    assert portal.slice_of("i2") is None
+    assert portal.slices["b"].members == []
+
+
+def test_host_for_ip_matches_topology_scan():
+    tb = AetherTestbed()
+    for name, spec in tb.topology.hosts.items():
+        assert tb._host_for_ip(spec.ipv4) == name
+    assert tb._host_for_ip(ip(9, 9, 9, 9)) is None
+
+
+# -- shared-entry refcounting (the Figure 11 table) -------------------------
+
+def test_shared_app_entry_survives_first_detach():
+    tb = AetherTestbed()
+    server = tb.topology.hosts[SERVER_HOST].ipv4
+    tb.provision_slice("phones", allow_rules(server))
+    tb.portal.add_members("phones", ["ue1", "ue2"])
+    tb.attach("ue1", 1)
+    tb.attach("ue2", 2)
+    shared = tb.onos.client("ue1").app_ids
+    assert shared == tb.onos.client("ue2").app_ids
+    installed = tb.onos.applications_entries()
+    assert tb.onos.app_refcount(shared[0]) == 2
+
+    tb.detach("ue1")
+    # The surviving subscriber still references both patterns: nothing
+    # may be uninstalled, and its traffic must still classify.
+    assert tb.onos.app_refcount(shared[0]) == 1
+    assert tb.onos.applications_entries() == installed
+    result = tb.send_uplink("ue2", server, 80)
+    assert result.delivered
+    assert result.new_reports == []
+
+    tb.detach("ue2")
+    assert tb.onos.app_refcount(shared[0]) == 0
+    assert tb.onos.applications_entries() == 0
+
+
+def test_released_pattern_reinstalls_on_next_attach():
+    tb = AetherTestbed()
+    server = tb.topology.hosts[SERVER_HOST].ipv4
+    tb.provision_slice("phones", allow_rules(server))
+    tb.portal.add_members("phones", ["ue1", "ue2"])
+    tb.attach("ue1", 1)
+    tb.detach("ue1")
+    assert tb.onos.applications_entries() == 0
+    tb.attach("ue2", 2)
+    assert tb.onos.applications_entries() == 2  # both patterns back
+    assert tb.send_uplink("ue2", server, 80).delivered
+
+
+# -- bulk vs serial parity --------------------------------------------------
+
+def _table_sizes(tb):
+    return {
+        (name, table): len(entries)
+        for name, sw in tb.deployment.switches.items()
+        for table, entries in sw.entries.items()
+    }
+
+
+def test_attach_many_matches_serial_attach():
+    serial, bulk = AetherTestbed(), AetherTestbed()
+    for tb in (serial, bulk):
+        server = tb.topology.hosts[SERVER_HOST].ipv4
+        tb.provision_slice("phones", allow_rules(server))
+        tb.portal.add_members("phones", [f"ue{i}" for i in range(1, 6)])
+    for i in range(1, 6):
+        serial.attach(f"ue{i}", i)
+    bulk.attach_many([(f"ue{i}", i) for i in range(1, 6)])
+    assert _table_sizes(serial) == _table_sizes(bulk)
+    for tb in (serial, bulk):
+        for i in (1, 3, 5):
+            result = tb.send_uplink(f"ue{i}", server, 80)
+            assert result.delivered and result.new_reports == []
+            assert not tb.send_uplink(f"ue{i}", server, 9999).delivered
+
+
+def test_detach_many_matches_serial_detach():
+    serial, bulk = AetherTestbed(), AetherTestbed()
+    for tb in (serial, bulk):
+        server = tb.topology.hosts[SERVER_HOST].ipv4
+        tb.provision_slice("phones", allow_rules(server))
+        tb.portal.add_members("phones", [f"ue{i}" for i in range(1, 6)])
+        tb.attach_many([(f"ue{i}", i) for i in range(1, 6)])
+    for i in (2, 4):
+        serial.detach(f"ue{i}")
+    bulk.detach_many(["ue2", "ue4"])
+    assert _table_sizes(serial) == _table_sizes(bulk)
+    for tb in (serial, bulk):
+        assert tb.send_uplink("ue3", server, 80).delivered
+        with pytest.raises(KeyError):
+            tb.onos.client("ue2")
+
+
+def test_batch_internal_duplicate_imsi_rejected():
+    tb = AetherTestbed()
+    server = tb.topology.hosts[SERVER_HOST].ipv4
+    tb.provision_slice("phones", allow_rules(server))
+    tb.portal.add_member("phones", "ue1")
+    with pytest.raises(ValueError):
+        tb.attach_many([("ue1", 1), ("ue1", 2)])
+
+
+# -- capacity model ---------------------------------------------------------
+
+def test_session_budget_enforced():
+    tb = AetherTestbed(capacity=AetherCapacity(max_sessions=3))
+    server = tb.topology.hosts[SERVER_HOST].ipv4
+    tb.provision_slice("phones", allow_rules(server))
+    tb.portal.add_members("phones", [f"ue{i}" for i in range(1, 6)])
+    tb.attach_many([("ue1", 1), ("ue2", 2)])
+    with pytest.raises(CapacityError):
+        tb.attach_many([("ue3", 3), ("ue4", 4)])
+    # The refused batch must not have partially attached.
+    assert len(tb.onos.clients) == 2
+    tb.detach("ue1")
+    tb.attach_many([("ue3", 3), ("ue4", 4)])
+    assert len(tb.onos.clients) == 3
+
+
+def test_ue_address_plan_bounds():
+    assert ue_address(1) == (172 << 24) | (16 << 16) | 1
+    assert ue_address(MAX_UE_INDEX) >> 20 == (172 << 24 | 16 << 16) >> 20
+    for bad in (0, MAX_UE_INDEX + 1):
+        with pytest.raises(ValueError):
+            ue_address(bad)
+    with pytest.raises(ValueError):
+        AetherCapacity(max_sessions=MAX_UE_INDEX + 1)
+
+
+def test_capacity_sizes_tables_and_digest_window():
+    cap = AetherCapacity(max_sessions=100, rules_per_session=2,
+                         digest_log_window=64)
+    tb = AetherTestbed(capacity=cap)
+    for sw in tb.deployment.switches.values():
+        assert sw.digests.capacity == 64
+    program = upf_program(capacity=cap)
+    sizes = {t.name: t.size for t in program.tables.values()}
+    assert sizes["uplink_sessions"] >= 100
+    assert sizes["terminations"] >= 200
+    assert sizes["applications"] == MAX_APP_IDS
+    described = cap.describe()
+    assert described["max_sessions"] == 100
+    assert cap.estimate_bytes() > 0
+
+
+def test_app_id_space_exhaustion_raises():
+    program = upf_program(capacity=AetherCapacity(max_sessions=300))
+    sw = Bmv2Switch(program, name="s1")
+    onos = OnosController({"s1": sw})
+    for i in range(MAX_APP_IDS):
+        onos.handle_attach(
+            f"ue{i}", "phones", ue_address(i + 1), 100 + i, 1100 + i,
+            [FilterRule(priority=i + 1, action=ALLOW)])
+    with pytest.raises(CapacityError):
+        onos.handle_attach(
+            "ue_over", "phones", ue_address(300), 999, 1999,
+            [FilterRule(priority=MAX_APP_IDS + 1, action=ALLOW)])
+
+
+def test_edge_only_filtering_keeps_spines_clean():
+    tb = AetherTestbed(capacity=AetherCapacity(max_sessions=10))
+    server = tb.topology.hosts[SERVER_HOST].ipv4
+    tb.provision_slice("phones", allow_rules(server))
+    tb.portal.add_member("phones", "ue1")
+    tb.attach("ue1", 1)
+    filtering = [t for t in tb.deployment.switches["leaf1"].entries
+                 if "filtering_actions" in t]
+    assert filtering, "expected a filtering_actions dict table"
+    table = filtering[0]
+    for name, spec in tb.topology.switches.items():
+        entries = tb.deployment.switches[name].entries.get(table, [])
+        if spec.is_leaf:
+            assert entries, f"edge {name} must carry checker rows"
+        else:
+            assert not entries, f"spine {name} must stay clean"
+    # Traffic still checked end to end in edge-only mode.
+    result = tb.send_uplink("ue1", server, 80)
+    assert result.delivered and result.new_reports == []
+
+
+def test_attach_spec_roundtrip_via_controller():
+    program = upf_program()
+    sw = Bmv2Switch(program, name="s1")
+    onos = OnosController({"s1": sw})
+    spec = AttachSpec(imsi="ue1", slice_name="phones", ue_ip=ue_address(1),
+                      uplink_teid=100, downlink_teid=1100,
+                      rules=(FilterRule(priority=5, action=ALLOW),))
+    record = onos.handle_attach_many([spec])[0]
+    assert record.imsi == "ue1"
+    assert record.entries and all(name == "s1"
+                                  for name, _, _ in record.entries)
+    onos.handle_detach("ue1")
+    assert all(not entries for entries in sw.entries.values())

@@ -170,3 +170,102 @@ def test_new_names_do_not_warn():
         warnings.simplefilter("error", DeprecationWarning)
         build_scenario_deployment(scenario, compiled)
         api.deploy(compiled, scenario=scenario)
+
+
+# -- bench(kind=...) / aether / typed results -------------------------------
+
+def test_bench_kind_signature():
+    import inspect
+
+    params = inspect.signature(api.bench).parameters
+    assert params["kind"].default == "engine"
+    assert all(p.kind == inspect.Parameter.KEYWORD_ONLY
+               for p in params.values())
+    assert api.BENCH_KINDS == ("engine", "net", "aether")
+    with pytest.raises(ValueError):
+        api.bench(kind="bogus")
+
+
+def test_bench_net_shim_warns_and_routes_identically(monkeypatch):
+    from repro.experiments import netbench
+
+    calls = []
+
+    def fake_run_net_bench(**kwargs):
+        calls.append(kwargs)
+        return {"benchmark": "net_replay", "sustained": True}
+
+    monkeypatch.setattr(netbench, "run_net_bench", fake_run_net_bench)
+    with pytest.warns(DeprecationWarning, match="kind='net'"):
+        shimmed = api.bench(net=True)
+    with warnings.catch_warnings():
+        warnings.simplefilter("error", DeprecationWarning)
+        fresh = api.bench(kind="net")
+    assert calls[0] == calls[1]
+    assert dict(shimmed) == dict(fresh)
+    assert isinstance(shimmed, api.BenchResult)
+    assert shimmed.kind == fresh.kind == "net"
+    assert shimmed.sustained is True
+
+
+def test_aether_verb_routes_to_run_soak(monkeypatch):
+    from repro.experiments import aetherbench
+
+    seen = {}
+
+    def fake_run_soak(**kwargs):
+        seen.update(kwargs)
+        return {"benchmark": "aether_soak",
+                "sessions": {"target": kwargs["sessions"]}}
+
+    monkeypatch.setattr(aetherbench, "run_soak", fake_run_soak)
+    result = api.aether(sessions=123, workers=2, flatness=False)
+    assert isinstance(result, api.SoakResult)
+    assert result.sessions == 123
+    assert seen["sessions"] == 123 and seen["workers"] == 2
+    assert seen["flatness"] is False
+    # bench(kind="aether") is the same soak behind the dispatcher.
+    via_bench = api.bench(kind="aether", sessions=456, workers=2)
+    assert isinstance(via_bench, api.SoakResult)
+    assert via_bench.kind == "aether"
+    assert seen["sessions"] == 456
+
+
+def test_bench_result_json_roundtrip():
+    import json
+
+    data = {"benchmark": "net_replay", "meta": {"commit": "abc"},
+            "sustained": True, "history": [{"speedup": 2.0}]}
+    result = api.BenchResult(data, kind="net")
+    again = api.BenchResult.from_json(result.to_json())
+    assert again == result and again.kind == "net"
+    assert again.sustained is True and again.meta == {"commit": "abc"}
+    assert again.history == [{"speedup": 2.0}]
+    engine = api.BenchResult.from_json(json.dumps(
+        {"benchmark": "switch_processing_rate",
+         "engines": {"fast": {"pps": 1.0}}}))
+    assert engine.kind == "engine"
+    assert engine.engines == {"fast": {"pps": 1.0}}
+    assert engine["engines"]["fast"]["pps"] == 1.0  # dict access intact
+
+
+def test_soak_result_json_roundtrip():
+    from repro.experiments.aetherbench import run_soak
+
+    result = api.SoakResult(run_soak(
+        sessions=300, engine="fast", batched=False, batch_size=100,
+        replay_ues=20, replay_repeats=1, flatness=False))
+    again = api.SoakResult.from_json(result.to_json())
+    assert again == result and again.kind == "aether"
+    assert again.sessions == 300 and again.reports == 0
+    assert again.attach_per_s > 0 and again.peak_rss_bytes > 0
+    assert again.flat is None  # flatness probe was off
+    assert set(again.phase_seconds) == {"attach", "churn", "replay"}
+
+
+def test_difftest_summary_reexport():
+    from repro.difftest import DifftestSummary
+
+    assert api.DifftestSummary is DifftestSummary
+    summary = api.difftest(seed=7, iters=1)
+    assert isinstance(summary, api.DifftestSummary)

@@ -102,7 +102,7 @@ def test_format_net_bench_renders():
 
 def test_api_bench_net(tmp_path):
     out = tmp_path / "BENCH_net.json"
-    result = api.bench(net=True, rate_pps=RATE, duration_s=DURATION,
+    result = api.bench(kind="net", rate_pps=RATE, duration_s=DURATION,
                        out=str(out))
     assert result["benchmark"] == "net_replay"
     assert result["equivalence"]["ok"]

@@ -145,6 +145,190 @@ def test_default_action_used_on_miss_and_tracks_changes():
         assert sw.process(_packet(1, 0), 1)[0][0] == 55
 
 
+# ---------------------------------------------------------------------------
+# Bulk control-plane path: insert_entries/delete_entries fold into the
+# live index instead of invalidating it.  Same win-order contract.
+# ---------------------------------------------------------------------------
+
+ALL_ENGINES = ("interp", "fast", "codegen")
+
+
+def winners_bulk(program, entries, probes, deletions=()):
+    """Like :func:`winners` but installing through ``insert_entries``,
+    across all three engines, with optional bulk deletions (indexes into
+    ``entries``) applied after a first lookup warmed the index."""
+    results = []
+    for engine in ALL_ENGINES:
+        sw = Bmv2Switch(program, engine=engine)
+        created = sw.insert_entries(
+            "t", [(match, "set_out", args, priority)
+                  for match, args, priority in entries])
+        sw.process(_packet(*probes[0]), 1)  # build the index
+        if deletions:
+            sw.delete_entries("t", [created[i] for i in deletions])
+        row = []
+        for a, b in probes:
+            packet_out = sw.process(_packet(a, b), 1)
+            row.append(packet_out[0][0] if packet_out else None)
+        results.append(row)
+    assert results[0] == results[1] == results[2], "engines disagree"
+    return results[0]
+
+
+def test_bulk_insert_matches_single_insert_semantics():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.RANGE)])
+    got = winners_bulk(program, entries=[
+        ([(10, 20)], [100], 0),
+        ([(15, 30)], [200], 5),
+    ], probes=[(12, 0), (17, 0), (25, 0), (40, 0)])
+    assert got == [100, 200, 200, 0]
+
+
+def test_bulk_delete_reexposes_shadowed_entry():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.RANGE)])
+    got = winners_bulk(program, entries=[
+        ([(10, 20)], [100], 1),
+        ([(10, 20)], [200], 9),
+    ], probes=[(12, 0)], deletions=[1])
+    assert got == [100]
+
+
+def test_bulk_fold_after_warm_index_keeps_order():
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.EXACT)])
+    for engine in ALL_ENGINES:
+        sw = Bmv2Switch(program, engine=engine)
+        first = sw.insert_entries("t", [([5], "set_out", [100], 0)])
+        assert sw.process(_packet(5, 0), 1)[0][0] == 100
+        # Fold into the already-built index: new key, then a duplicate
+        # key at higher priority (forces the fallback rebuild).
+        sw.insert_entries("t", [([9], "set_out", [300], 0)])
+        assert sw.process(_packet(9, 0), 1)[0][0] == 300
+        sw.insert_entries("t", [([5], "set_out", [200], 9)])
+        assert sw.process(_packet(5, 0), 1)[0][0] == 200
+        sw.delete_entries("t", first)
+        assert sw.process(_packet(5, 0), 1)[0][0] == 200
+
+
+def test_range_buckets_engage_and_preserve_win_order():
+    """Above _RBUCKET_MIN entries with a degenerate range column the
+    index switches to hashed range buckets; residual wide-range entries
+    must still win by priority."""
+    from repro.p4.fastpath import _RBUCKET_MIN
+
+    program = make_program([
+        ir.TableKey("hdr.h.a", ir.MatchKind.RANGE),
+        ir.TableKey("hdr.h.b", ir.MatchKind.RANGE),
+    ])
+    n = _RBUCKET_MIN + 8
+    entries = [([(i, i), (0, 100)], [1000 + i], 1) for i in range(n)]
+    # Wide-range entries: one outranking the buckets, one outranked.
+    entries.append(([(0, 2 ** 32 - 1), (50, 60)], [7], 5))
+    entries.append(([(0, 2 ** 32 - 1), (0, 100)], [8], 0))
+    probes = ([(i, 10) for i in range(0, n, 7)]
+              + [(3, 55), (n + 50, 55), (n + 50, 99)])
+    expected = []
+    for a, b in probes:
+        if 50 <= b <= 60:
+            expected.append(7)
+        elif a < n:
+            expected.append(1000 + a)
+        else:
+            expected.append(8)
+    got = winners_bulk(program, entries, probes)
+    assert got == expected
+    # White box: the fast engine actually chose the bucket layout.
+    sw = Bmv2Switch(program, engine="fast")
+    sw.insert_entries("t", [(m, "set_out", a, p) for m, a, p in entries])
+    sw.process(_packet(0, 0), 1)
+    index = sw._fast.tables["t"]
+    assert index._rb_col == 0
+    assert len(index._rb_buckets) == n
+    assert len(index._rb_residual) == 2
+
+
+def test_range_bucket_fold_churn_randomized_parity():
+    """Randomized bulk insert/delete churn on a bucketed range table:
+    fast and codegen stay packet-for-packet equal to the interpreter."""
+    import random
+
+    from repro.p4.fastpath import _RBUCKET_MIN
+
+    program = make_program([
+        ir.TableKey("hdr.h.a", ir.MatchKind.RANGE),
+        ir.TableKey("hdr.h.b", ir.MatchKind.RANGE),
+    ])
+    rng = random.Random(42)
+
+    def rows(k, base):
+        out = []
+        for i in range(k):
+            if rng.random() < 0.85:
+                v = base + i
+                k0 = (v, v)
+            else:
+                lo = rng.randrange(300)
+                k0 = (lo, lo + rng.randrange(300))
+            lo_b = rng.randrange(50)
+            out.append(([k0, (lo_b, lo_b + rng.randrange(60))],
+                        "set_out", [rng.randrange(1, 10 ** 6)],
+                        rng.randrange(5)))
+        return out
+
+    switches = {e: Bmv2Switch(program, engine=e) for e in ALL_ENGINES}
+    state = rng.getstate()
+    installed = {}
+    for engine, sw in switches.items():
+        rng.setstate(state)  # identical row stream per engine
+        installed[engine] = list(
+            sw.insert_entries("t", rows(_RBUCKET_MIN * 2, 0)))
+    state = rng.getstate()
+
+    def assert_parity(round_no):
+        probe_rng = random.Random(round_no)
+        probes = [(probe_rng.randrange(400), probe_rng.randrange(120))
+                  for _ in range(120)]
+        rows_out = []
+        for engine, sw in switches.items():
+            row = []
+            for a, b in probes:
+                out = sw.process(_packet(a, b), 1)
+                row.append(out[0][0] if out else None)
+            rows_out.append(row)
+        assert rows_out[0] == rows_out[1] == rows_out[2], \
+            f"engines diverged in round {round_no}"
+
+    assert_parity(0)
+    for round_no in range(1, 5):
+        for engine, sw in switches.items():
+            rng.setstate(state)
+            installed[engine].extend(
+                sw.insert_entries("t", rows(20, 1000 * round_no)))
+            victim_rng = random.Random(round_no)
+            victims = victim_rng.sample(range(len(installed[engine])), 15)
+            batch = [installed[engine][i] for i in victims]
+            for i in sorted(victims, reverse=True):
+                del installed[engine][i]
+            sw.delete_entries("t", batch)
+        state = rng.getstate()
+        assert_parity(round_no)
+
+
+def test_bulk_insert_validates_like_single_insert():
+    from repro.p4.bmv2 import P4RuntimeError
+
+    program = make_program([ir.TableKey("hdr.h.a", ir.MatchKind.EXACT)])
+    sw = Bmv2Switch(program)
+    with pytest.raises(P4RuntimeError):
+        sw.insert_entries("t", [([1], "no_such_action", None, 0)])
+    with pytest.raises(P4RuntimeError):
+        sw.insert_entries("t", [([1], "set_out", [2, 3], 0)])
+    with pytest.raises(P4RuntimeError):
+        sw.insert_entries("t", [([1, 2], "set_out", [2], 0)])
+    with pytest.raises(P4RuntimeError):
+        sw.delete_entries("t", [ir.TableEntry(match=[1], action="set_out",
+                                              args=[2])])
+
+
 @pytest.mark.parametrize("kind", [ir.MatchKind.EXACT, ir.MatchKind.LPM,
                                   ir.MatchKind.TERNARY])
 def test_insert_delete_churn_invalidates_index(kind):
